@@ -1,0 +1,106 @@
+//! Criterion microbenches of the simulation substrate: raw event-dispatch
+//! throughput and fabric injection cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gm_sim::{Engine, Scheduler, SimDuration, SimTime, World};
+use myrinet::{Fabric, NodeId, Packet, PacketKind, PortId, Topology};
+
+/// A ping world: one event chain of fixed length.
+struct Chain {
+    remaining: u64,
+}
+
+impl World for Chain {
+    type Event = ();
+    fn handle(&mut self, _: (), sched: &mut Scheduler<()>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            sched.after(SimDuration::from_nanos(10), ());
+        }
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    for &n in &[1_000u64, 100_000] {
+        g.throughput(Throughput::Elements(n));
+        g.bench_with_input(BenchmarkId::new("event_chain", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut eng = Engine::new(Chain { remaining: n });
+                eng.schedule(SimTime::ZERO, ());
+                eng.run_to_idle();
+                assert_eq!(eng.events_handled(), n + 1);
+            });
+        });
+    }
+    g.finish();
+}
+
+/// A fan world: many interleaved timers (stresses the heap).
+struct Fan {
+    remaining: u64,
+}
+
+impl World for Fan {
+    type Event = u64;
+    fn handle(&mut self, ev: u64, sched: &mut Scheduler<u64>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            sched.after(SimDuration::from_nanos(7 + ev % 13), ev + 1);
+        }
+    }
+}
+
+fn bench_heap_pressure(c: &mut Criterion) {
+    c.bench_function("engine/heap_64_streams_100k_events", |b| {
+        b.iter(|| {
+            let mut eng = Engine::new(Fan { remaining: 100_000 });
+            for i in 0..64 {
+                eng.schedule(SimTime::from_nanos(i), i);
+            }
+            eng.run_to_idle();
+        });
+    });
+}
+
+fn bench_fabric(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fabric");
+    for &nodes in &[16u32, 128] {
+        g.bench_with_input(
+            BenchmarkId::new("inject_4kb", nodes),
+            &nodes,
+            |b, &nodes| {
+                let topo = Topology::for_nodes(nodes);
+                let pkt = Packet {
+                    src: NodeId(0),
+                    dst: NodeId(nodes - 1),
+                    kind: PacketKind::Data {
+                        port: PortId(0),
+                        src_port: PortId(0),
+                        seq: 0,
+                        offset: 0,
+                        msg_len: 4096,
+                        tag: 0,
+                    },
+                    payload: bytes::Bytes::from(vec![0u8; 4096]),
+                };
+                b.iter_batched(
+                    || Fabric::new(topo.clone(), 1),
+                    |mut f| {
+                        let mut t = SimTime::ZERO;
+                        for _ in 0..1_000 {
+                            let v = f.inject(t, &pkt);
+                            t = v.src_free();
+                        }
+                        f
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_heap_pressure, bench_fabric);
+criterion_main!(benches);

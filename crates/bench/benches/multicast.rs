@@ -1,0 +1,37 @@
+//! Criterion macrobenches: simulator wall-clock cost of full protocol runs
+//! (how fast the reproduction itself executes, not the simulated latencies).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gm_mpi::{execute_mpi, BcastImpl, MpiRun};
+use gm_sim::SimDuration;
+use nic_mcast::{execute, McastMode, McastRun, TreeShape};
+
+fn bench_gm_multicast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_runtime");
+    g.sample_size(10);
+    for &(nodes, size) in &[(16u32, 64usize), (16, 16384), (64, 1024)] {
+        g.bench_with_input(
+            BenchmarkId::new("nic_mcast_20iters", format!("{nodes}n_{size}B")),
+            &(nodes, size),
+            |b, &(nodes, size)| {
+                b.iter(|| {
+                    let mut run =
+                        McastRun::new(nodes, size, McastMode::NicBased, TreeShape::Binomial);
+                    run.warmup = 2;
+                    run.iters = 20;
+                    execute(&run)
+                });
+            },
+        );
+    }
+    g.bench_function("mpi_bcast_16ranks_20iters", |b| {
+        b.iter(|| {
+            let run = MpiRun::bcast_loop(16, 1024, BcastImpl::NicBased, SimDuration::ZERO, 2, 20);
+            execute_mpi(&run)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gm_multicast);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion microbenches of host-side spanning-tree construction — the
+//! part of the protocol the paper deliberately placed on the host because
+//! "the NIC processor is typically much slower than the host processor".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gm_sim::SimDuration;
+use myrinet::NodeId;
+use nic_mcast::{PostalParams, SpanningTree, TreeShape};
+
+fn dests(n: u32) -> Vec<NodeId> {
+    (1..n).map(NodeId).collect()
+}
+
+fn bench_builders(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree_build");
+    for &n in &[16u32, 128, 1024] {
+        let d = dests(n);
+        g.bench_with_input(BenchmarkId::new("binomial", n), &d, |b, d| {
+            b.iter(|| SpanningTree::build(NodeId(0), d, TreeShape::Binomial));
+        });
+        g.bench_with_input(BenchmarkId::new("postal", n), &d, |b, d| {
+            let p = PostalParams::new(
+                SimDuration::from_micros(7),
+                SimDuration::from_nanos(600),
+            );
+            b.iter(|| SpanningTree::build(NodeId(0), d, TreeShape::Postal(p)));
+        });
+        g.bench_with_input(BenchmarkId::new("kary2", n), &d, |b, d| {
+            b.iter(|| SpanningTree::build(NodeId(0), d, TreeShape::KAry(2)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_coverage(c: &mut Criterion) {
+    c.bench_function("tree_build/min_makespan_10k_lambda5", |b| {
+        b.iter(|| nic_mcast::min_makespan(10_000, 5));
+    });
+}
+
+criterion_group!(benches, bench_builders, bench_coverage);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Ablation: per-packet acknowledgments (GM-2-alpha behaviour, what the
+//! paper ran on) vs coalesced cumulative acks. Coalescing cuts control
+//! traffic on bulk transfers but delays the sender's completion notice —
+//! a classic protocol trade-off worth quantifying on this substrate.
+
+use bench::{par_map, us, CliOpts, Table};
+use gm_sim::SimDuration;
+use myrinet::NodeId;
+use nic_mcast::{build_cluster, AckMode, McastMode, McastRun, TreeShape};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    coalesce_us: u64,
+    latency_us: f64,
+    completion_us: f64,
+    acks: u64,
+}
+
+/// Host-based multicast of 16KB over 8 nodes: latency to the probe plus
+/// the root's completion time (NIC-level acks) and total ack packets.
+fn measure(coalesce_us: u64, iters: u32, warmup: u32) -> (f64, f64, u64) {
+    let run_with = |ack: AckMode| {
+        let mut run = McastRun::new(8, 16 * 1024, McastMode::HostBased, TreeShape::Binomial);
+        run.ack = ack;
+        run.warmup = warmup;
+        run.iters = iters;
+        run.params.ack_coalesce = SimDuration::from_micros(coalesce_us);
+        let (cluster, shared) = build_cluster(&run);
+        let mut eng = cluster.into_engine();
+        eng.run_to_idle();
+        let acks: u64 = (0..run.n_nodes)
+            .map(|i| eng.world().nic(NodeId(i)).counters.get("tx_acks"))
+            .sum();
+        let s = shared.borrow();
+        assert_eq!(s.iters_done, iters);
+        (s.latency.mean(), acks)
+    };
+    let (latency, acks) = run_with(AckMode::ProbeReply);
+    let (completion, _) = run_with(AckMode::NicAck);
+    (latency, completion, acks)
+}
+
+fn main() {
+    let opts = CliOpts::parse();
+    let results: Vec<Point> = par_map(vec![0u64, 10, 30, 100, 300], |&coalesce_us| {
+        let (latency_us, completion_us, acks) = measure(coalesce_us, opts.iters, opts.warmup);
+        Point {
+            coalesce_us,
+            latency_us,
+            completion_us,
+            acks,
+        }
+    });
+    let mut t = Table::new(
+        "Ack-coalescing ablation: 16KB host-based multicast, 8 nodes",
+        &["coalesce (us)", "delivery (us)", "send completion (us)", "ack packets"],
+    );
+    for p in &results {
+        t.row(vec![
+            p.coalesce_us.to_string(),
+            us(p.latency_us),
+            us(p.completion_us),
+            p.acks.to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nCoalescing barely moves delivery latency (data packets pipeline\n\
+         regardless) while cutting ack packets several-fold; the cost shows\n\
+         in the sender's completion time, which waits for the flushed\n\
+         cumulative ack."
+    );
+    bench::write_json("ablation_ack_coalesce", &results);
+}

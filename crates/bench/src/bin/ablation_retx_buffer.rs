@@ -1,0 +1,98 @@
+//! Ablation: retransmission data source at forwarding NICs (paper §5
+//! "Messages Forwarding", second design issue).
+//!
+//! The "naive solution" holds the NIC receive buffer until every child has
+//! acknowledged — but "the NIC receive buffer is a limited resource, and
+//! holding on to one or more receive buffers will slow down the receiver or
+//! even block the network". The paper instead frees the buffer when
+//! forwarding completes and retransmits from the registered host-memory
+//! replica. We shrink the receive-buffer pool and stream back-to-back
+//! multicasts: the hold-SRAM policy exhausts buffers (visible as
+//! `rx_drop_no_sram` drops and timeout recoveries), the host-memory policy
+//! does not.
+
+use bench::{par_map, us, CliOpts, Table};
+use nic_mcast::{build_cluster, McastConfig, McastMode, McastRun, RetxBufferPolicy, TreeShape};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    recv_buffers: usize,
+    host_memory_us: f64,
+    hold_sram_us: f64,
+    hold_sram_drops: u64,
+    host_memory_drops: u64,
+}
+
+fn measure(bufs: usize, policy: RetxBufferPolicy, iters: u32, warmup: u32) -> (f64, u64) {
+    let mut run = McastRun::new(16, 16384, McastMode::NicBased, TreeShape::Binomial);
+    run.warmup = warmup;
+    run.iters = iters;
+    // Mild loss delays some acknowledgments by the 1 ms timeout, so the
+    // hold-SRAM policy keeps buffers pinned long enough to starve the pool.
+    run.faults = myrinet::FaultPlan::with_loss(0.01);
+    run.params.recv_buffers = bufs;
+    run.config = McastConfig {
+        retx_buffer: policy,
+        ..McastConfig::default()
+    };
+    let (cluster, shared) = build_cluster(&run);
+    let mut eng = cluster.into_engine();
+    eng.run_to_idle();
+    let drops: u64 = (0..run.n_nodes)
+        .map(|i| {
+            eng.world()
+                .nic(myrinet::NodeId(i))
+                .counters
+                .get("rx_drop_no_sram")
+        })
+        .sum();
+    let s = shared.borrow();
+    assert_eq!(s.iters_done, iters, "run incomplete");
+    (s.latency.mean(), drops)
+}
+
+fn main() {
+    let opts = CliOpts::parse();
+    let results: Vec<Point> = par_map(vec![64usize, 12, 8, 6], |&bufs| {
+        let (host_memory_us, host_memory_drops) =
+            measure(bufs, RetxBufferPolicy::HostMemory, opts.iters, opts.warmup);
+
+        let (hold_sram_us, hold_sram_drops) =
+            measure(bufs, RetxBufferPolicy::HoldSram, opts.iters, opts.warmup);
+        Point {
+            recv_buffers: bufs,
+            host_memory_us,
+            hold_sram_us,
+            hold_sram_drops,
+            host_memory_drops,
+        }
+    });
+
+    let mut t = Table::new(
+        "Retransmit-buffer ablation: 16KB multicast over 16 nodes",
+        &[
+            "recv bufs",
+            "host-mem (us)",
+            "hold-SRAM (us)",
+            "host-mem drops",
+            "hold-SRAM drops",
+        ],
+    );
+    for p in &results {
+        t.row(vec![
+            p.recv_buffers.to_string(),
+            us(p.host_memory_us),
+            us(p.hold_sram_us),
+            p.host_memory_drops.to_string(),
+            p.hold_sram_drops.to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nHolding SRAM buffers until children ack starves the receive path as\n\
+         the pool shrinks; retransmitting from host memory (the paper's choice)\n\
+         keeps the pipeline full."
+    );
+    bench::write_json("ablation_retx_buffer", &results);
+}

@@ -1,0 +1,161 @@
+//! Interactive explorer: run one multicast configuration from the command
+//! line and print everything the simulator measured.
+//!
+//! ```console
+//! cargo run --release -p bench --bin explore -- \
+//!     --nodes 16 --size 4096 --mode nic --shape adaptive --loss 0.01 --iters 50
+//! ```
+
+use gm::GmParams;
+use myrinet::{FaultPlan, NetParams};
+use nic_mcast::{
+    execute, shape_for_size, McastMode, McastRun, PostalParams, SpanningTree, TreeShape,
+};
+
+struct Opts {
+    nodes: u32,
+    size: usize,
+    mode: McastMode,
+    shape: String,
+    loss: f64,
+    iters: u32,
+    warmup: u32,
+    seed: u64,
+    show_tree: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: explore [--nodes N] [--size BYTES] [--mode nic|host] \
+         [--shape adaptive|binomial|flat|chain|kary:K|postal:T_US:GAP_US] \
+         [--loss P] [--iters N] [--warmup N] [--seed S] [--tree]"
+    );
+    std::process::exit(2)
+}
+
+fn parse() -> Opts {
+    let mut o = Opts {
+        nodes: 16,
+        size: 1024,
+        mode: McastMode::NicBased,
+        shape: "adaptive".to_string(),
+        loss: 0.0,
+        iters: 100,
+        warmup: 10,
+        seed: 1,
+        show_tree: false,
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    let val = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--nodes" => o.nodes = val(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--size" => o.size = val(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--mode" => {
+                o.mode = match val(&mut i).as_str() {
+                    "nic" => McastMode::NicBased,
+                    "host" => McastMode::HostBased,
+                    _ => usage(),
+                }
+            }
+            "--shape" => o.shape = val(&mut i),
+            "--loss" => o.loss = val(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--iters" => o.iters = val(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--warmup" => o.warmup = val(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => o.seed = val(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--tree" => o.show_tree = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    o
+}
+
+fn parse_shape(spec: &str, size: usize, n_dests: usize) -> TreeShape {
+    match spec {
+        "adaptive" => shape_for_size(
+            size,
+            n_dests,
+            &GmParams::default(),
+            &NetParams::default(),
+            2,
+        ),
+        "binomial" => TreeShape::Binomial,
+        "flat" => TreeShape::Flat,
+        "chain" => TreeShape::Chain,
+        other => {
+            if let Some(k) = other.strip_prefix("kary:") {
+                return TreeShape::KAry(k.parse().unwrap_or_else(|_| usage()));
+            }
+            if let Some(rest) = other.strip_prefix("postal:") {
+                let mut parts = rest.split(':');
+                let lat: u64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                let gap: u64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                return TreeShape::Postal(PostalParams::new(
+                    gm_sim::SimDuration::from_micros(lat),
+                    gm_sim::SimDuration::from_micros(gap),
+                ));
+            }
+            usage()
+        }
+    }
+}
+
+fn print_tree(tree: &SpanningTree, node: myrinet::NodeId, depth: usize) {
+    println!("{:indent$}{node}", "", indent = depth * 2);
+    for &c in tree.children(node) {
+        print_tree(tree, c, depth + 1);
+    }
+}
+
+fn main() {
+    let o = parse();
+    let shape = parse_shape(&o.shape, o.size, o.nodes as usize - 1);
+    let mut run = McastRun::new(o.nodes, o.size, o.mode, shape);
+    run.warmup = o.warmup;
+    run.iters = o.iters;
+    run.seed = o.seed;
+    if o.loss > 0.0 {
+        run.faults = FaultPlan::with_loss(o.loss);
+    }
+    if o.show_tree {
+        let dests: Vec<myrinet::NodeId> = (1..o.nodes).map(myrinet::NodeId).collect();
+        let tree = SpanningTree::build(myrinet::NodeId(0), &dests, shape);
+        println!("spanning tree ({shape:?}):");
+        print_tree(&tree, myrinet::NodeId(0), 0);
+        println!();
+    }
+    let out = execute(&run);
+    println!(
+        "{} multicast, {} nodes, {} bytes, shape {:?}, loss {:.2}%",
+        match o.mode {
+            McastMode::NicBased => "NIC-based",
+            McastMode::HostBased => "host-based",
+        },
+        o.nodes,
+        o.size,
+        shape,
+        o.loss * 100.0,
+    );
+    println!("  latency (mean):   {:>10.2} us", out.latency.mean());
+    println!("  latency (p50):    {:>10.2} us", out.latency_p50);
+    println!("  latency (p99):    {:>10.2} us", out.latency_p99);
+    println!("  latency (stddev): {:>10.2} us", out.latency.stddev());
+    println!("  tree height:      {:>10}", out.height);
+    println!("  avg fan-out:      {:>10.2}", out.avg_fanout);
+    println!("  retransmissions:  {:>10}", out.retransmissions);
+    println!("  root link util:   {:>9.1}%", out.root_link_utilization * 100.0);
+    println!("  sim events:       {:>10}", out.events);
+    println!("  sim time:         {:>10}", out.end_time);
+}

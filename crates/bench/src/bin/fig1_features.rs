@@ -1,0 +1,12 @@
+//! Figure 1: the feature-axes comparison of NIC-supported multicast
+//! schemes, rendered as a matrix (see `nic_mcast::features`).
+
+fn main() {
+    println!("== Figure 1: multicast scheme feature comparison ==\n");
+    print!("{}", nic_mcast::features::render_table());
+    println!(
+        "\nOur scheme is the only one combining NIC forwarding, ack-based\n\
+         reliability (no credit flow control), protection, preposted tree\n\
+         information and decentralized state (scalability)."
+    );
+}

@@ -1,0 +1,244 @@
+//! Shared benchmark-harness utilities: parallel parameter sweeps, table
+//! rendering, and JSON result emission.
+//!
+//! Every figure binary follows the same pattern: build a list of parameter
+//! points, evaluate each point in its own simulator instance (fanned out
+//! across OS threads — simulations are independent and deterministic), then
+//! print the same series the paper plots and optionally write a
+//! machine-readable JSON file under `results/`.
+
+use std::num::NonZeroUsize;
+use std::path::Path;
+use std::sync::Mutex;
+use std::thread;
+
+use serde::Serialize;
+
+/// The message-size sweep the paper's GM-level figures use (1 B .. 16 KB).
+pub const GM_SIZES: [usize; 15] = [
+    1, 4, 16, 64, 128, 256, 512, 1024, 2048, 4096, 6144, 8192, 10240, 12288, 16384,
+];
+
+/// The MPI-level sweep tops out at the largest eager message (16 287 B).
+pub const MPI_SIZES: [usize; 15] = [
+    1, 4, 16, 64, 128, 256, 512, 1024, 2048, 4096, 6144, 8192, 10240, 12288, 16287,
+];
+
+/// Evaluate `f` over `items` in parallel, preserving input order.
+///
+/// Each item runs on its own OS thread (bounded by the machine's
+/// parallelism); simulator instances are fully independent, so this is a
+/// pure speedup with identical results to a serial run.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let work: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().rev().collect());
+    let threads = thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(n.max(1));
+    thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let item = work.lock().expect("work queue poisoned").pop();
+                match item {
+                    Some((i, t)) => {
+                        let r = f(&t);
+                        results.lock().expect("results poisoned")[i] = Some(r);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("results poisoned")
+        .into_iter()
+        .map(|r| r.expect("every item evaluated"))
+        .collect()
+}
+
+/// A printable results table.
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column names.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format a microsecond value for a table cell.
+pub fn us(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format an improvement factor.
+pub fn factor(hb: f64, nb: f64) -> String {
+    format!("{:.2}", hb / nb)
+}
+
+/// Write `rows` as pretty JSON under `results/<name>.json` (best effort; a
+/// failure only prints a warning so the table output still stands alone).
+pub fn write_json<T: Serialize>(name: &str, rows: &T) {
+    let dir = Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create results/: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(rows) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(&path, s) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                eprintln!("(results written to {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize results: {e}"),
+    }
+}
+
+/// Parse `--iters N` / `--quick` style flags shared by the figure binaries.
+pub struct CliOpts {
+    /// Timed iterations per point.
+    pub iters: u32,
+    /// Warmup iterations per point.
+    pub warmup: u32,
+    /// Max-over-probes (slower, matches the paper exactly) vs last-probe.
+    pub all_probes: bool,
+}
+
+impl CliOpts {
+    /// Defaults: 100 timed iterations, 10 warmup, deepest-probe only.
+    pub fn parse() -> CliOpts {
+        let mut o = CliOpts {
+            iters: 100,
+            warmup: 10,
+            all_probes: false,
+        };
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--iters" => {
+                    i += 1;
+                    o.iters = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--iters needs a number");
+                }
+                "--warmup" => {
+                    i += 1;
+                    o.warmup = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--warmup needs a number");
+                }
+                "--all-probes" => o.all_probes = true,
+                "--quick" => {
+                    o.iters = 20;
+                    o.warmup = 3;
+                }
+                other => panic!(
+                    "unknown flag {other}; supported: --iters N --warmup N --all-probes --quick"
+                ),
+            }
+            i += 1;
+        }
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map((0..100).collect(), |&x: &i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_empty() {
+        let out: Vec<i32> = par_map(Vec::<i32>::new(), |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["a", "bbbb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("a  bbbb"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn table_rejects_bad_rows() {
+        let mut t = Table::new("demo", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn factor_formats() {
+        assert_eq!(factor(10.0, 5.0), "2.00");
+        assert_eq!(us(1.234), "1.23");
+    }
+}

@@ -1,0 +1,183 @@
+//! The paper's Figure 1: a feature comparison of NIC-supported multicast
+//! schemes (ours vs LFC, FM/MC and the NIC-assisted scheme), encoded as data
+//! so the `fig1_features` bench binary can render the same matrix.
+
+/// One multicast scheme's position on the six axes of Figure 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SchemeFeatures {
+    /// Scheme name as cited in the paper.
+    pub name: &'static str,
+    /// Where message forwarding happens.
+    pub forwarding: Forwarding,
+    /// How delivery is guaranteed.
+    pub reliability: Reliability,
+    /// Relative scalability claim.
+    pub scalability: Scalability,
+    /// Memory-protected concurrent NIC access by multiple processes.
+    pub protection: bool,
+    /// Where the spanning tree is constructed.
+    pub tree_construction: TreeConstruction,
+    /// How the tree reaches intermediate NICs.
+    pub tree_info: TreeInfo,
+}
+
+/// Forwarding location.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Forwarding {
+    /// The NIC forwards without host involvement.
+    Nic,
+    /// The host must receive and re-send.
+    Host,
+}
+
+/// Reliability mechanism.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Reliability {
+    /// Acks + timeout/retransmission (direct).
+    AckRetransmit,
+    /// End-to-end credit flow control with a centralized credit manager.
+    CreditsEndToEnd,
+    /// Link-level (hop-by-hop) credit flow control; deadlock-prone for
+    /// multicast.
+    CreditsLinkLevel,
+    /// Assumes a reliable network.
+    AssumedReliable,
+}
+
+/// Scalability band on the paper's axis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scalability {
+    /// No centralized resource; thousands of nodes.
+    Higher,
+    /// Centralized manager or per-hop credits limit scale.
+    Lower,
+}
+
+/// Tree construction site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TreeConstruction {
+    /// At the host (the only efficient choice; LANai is slow).
+    Host,
+}
+
+/// Tree information delivery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TreeInfo {
+    /// Preposted into the NIC group table.
+    Preposted,
+    /// Carried with each message.
+    PerMessage,
+}
+
+/// The four schemes of Figure 1, ours first.
+pub const SCHEMES: [SchemeFeatures; 4] = [
+    SchemeFeatures {
+        name: "Our scheme",
+        forwarding: Forwarding::Nic,
+        reliability: Reliability::AckRetransmit,
+        scalability: Scalability::Higher,
+        protection: true,
+        tree_construction: TreeConstruction::Host,
+        tree_info: TreeInfo::Preposted,
+    },
+    SchemeFeatures {
+        name: "LFC [2]",
+        forwarding: Forwarding::Nic,
+        reliability: Reliability::CreditsLinkLevel,
+        scalability: Scalability::Lower,
+        protection: false,
+        tree_construction: TreeConstruction::Host,
+        tree_info: TreeInfo::Preposted,
+    },
+    SchemeFeatures {
+        name: "FM/MC [14]",
+        forwarding: Forwarding::Nic,
+        reliability: Reliability::CreditsEndToEnd,
+        scalability: Scalability::Lower,
+        protection: false,
+        tree_construction: TreeConstruction::Host,
+        tree_info: TreeInfo::Preposted,
+    },
+    SchemeFeatures {
+        name: "NIC-assisted [5]",
+        forwarding: Forwarding::Host,
+        reliability: Reliability::AssumedReliable,
+        scalability: Scalability::Higher,
+        protection: false,
+        tree_construction: TreeConstruction::Host,
+        tree_info: TreeInfo::PerMessage,
+    },
+];
+
+/// Render the Figure 1 matrix as an aligned text table.
+pub fn render_table() -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<18} {:<11} {:<18} {:<12} {:<11} {:<10} {:<10}\n",
+        "Scheme", "Forwarding", "Reliability", "Scalability", "Protection", "TreeConst", "TreeInfo"
+    ));
+    for s in SCHEMES {
+        out.push_str(&format!(
+            "{:<18} {:<11} {:<18} {:<12} {:<11} {:<10} {:<10}\n",
+            s.name,
+            match s.forwarding {
+                Forwarding::Nic => "NIC",
+                Forwarding::Host => "Host",
+            },
+            match s.reliability {
+                Reliability::AckRetransmit => "ack+retransmit",
+                Reliability::CreditsEndToEnd => "credits (e2e)",
+                Reliability::CreditsLinkLevel => "credits (link)",
+                Reliability::AssumedReliable => "assumed",
+            },
+            match s.scalability {
+                Scalability::Higher => "higher",
+                Scalability::Lower => "lower",
+            },
+            if s.protection { "yes" } else { "no" },
+            "host",
+            match s.tree_info {
+                TreeInfo::Preposted => "preposted",
+                TreeInfo::PerMessage => "per-msg",
+            },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn our_scheme_is_the_complete_feature_set() {
+        let ours = SCHEMES[0];
+        assert_eq!(ours.forwarding, Forwarding::Nic);
+        assert_eq!(ours.reliability, Reliability::AckRetransmit);
+        assert_eq!(ours.scalability, Scalability::Higher);
+        assert!(ours.protection);
+        assert_eq!(ours.tree_info, TreeInfo::Preposted);
+    }
+
+    #[test]
+    fn every_cited_scheme_lacks_a_feature_ours_has() {
+        let ours = SCHEMES[0];
+        for s in &SCHEMES[1..] {
+            let lacks = s.forwarding != ours.forwarding
+                || s.reliability != ours.reliability
+                || s.scalability != ours.scalability
+                || s.protection != ours.protection
+                || s.tree_info != ours.tree_info;
+            assert!(lacks, "{} should lack at least one feature", s.name);
+        }
+    }
+
+    #[test]
+    fn table_renders_all_schemes() {
+        let t = render_table();
+        for s in SCHEMES {
+            assert!(t.contains(s.name));
+        }
+        assert_eq!(t.lines().count(), 5);
+    }
+}

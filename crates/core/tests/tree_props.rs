@@ -1,0 +1,112 @@
+//! Property-based tests of the spanning-tree builders: coverage, deadlock
+//! ordering, and postal-model consistency over arbitrary destination sets.
+
+use gm_sim::SimDuration;
+use myrinet::NodeId;
+use nic_mcast::{coverage, min_makespan, PostalParams, SpanningTree, TreeShape};
+use proptest::prelude::*;
+
+/// An arbitrary destination set: distinct IDs, root excluded.
+fn dests_strategy() -> impl Strategy<Value = (u32, Vec<u32>)> {
+    (0u32..64, proptest::collection::btree_set(0u32..64, 1..40)).prop_map(|(root, mut set)| {
+        set.remove(&root);
+        (root, set.into_iter().collect())
+    })
+}
+
+fn shapes() -> impl Strategy<Value = TreeShape> {
+    prop_oneof![
+        Just(TreeShape::Binomial),
+        Just(TreeShape::Flat),
+        Just(TreeShape::Chain),
+        (1u32..6).prop_map(TreeShape::KAry),
+        (1u64..40, 1u64..40).prop_map(|(t, l)| TreeShape::Postal(PostalParams::new(
+            SimDuration::from_micros(l),
+            SimDuration::from_micros(t),
+        ))),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn every_builder_satisfies_the_invariants((root, dests) in dests_strategy(), shape in shapes()) {
+        prop_assume!(!dests.is_empty());
+        let dests: Vec<NodeId> = dests.into_iter().map(NodeId).collect();
+        let tree = SpanningTree::build(NodeId(root), &dests, shape);
+        // validate() checks coverage, single-parent, acyclicity and the
+        // child-ID > parent-ID deadlock ordering.
+        tree.validate().expect("invariants hold");
+        // Every destination's children are sent in ascending ID order
+        // (contiguous ranges of the sorted list).
+        for n in std::iter::once(NodeId(root)).chain(dests.iter().copied()) {
+            let ch = tree.children(n);
+            for w in ch.windows(2) {
+                prop_assert!(w[0] < w[1], "children of {n} not ascending");
+            }
+        }
+    }
+
+    #[test]
+    fn depth_never_exceeds_destination_count((root, dests) in dests_strategy(), shape in shapes()) {
+        prop_assume!(!dests.is_empty());
+        let n = dests.len();
+        let dests: Vec<NodeId> = dests.into_iter().map(NodeId).collect();
+        let tree = SpanningTree::build(NodeId(root), &dests, shape);
+        prop_assert!(tree.height() <= n);
+        prop_assert!(tree.height() >= 1);
+    }
+
+    #[test]
+    fn coverage_is_monotone(m in 0u64..200, lambda in 1u64..20) {
+        prop_assert!(coverage(m + 1, lambda) >= coverage(m, lambda));
+        // Larger lambda never covers more nodes in the same time.
+        prop_assert!(coverage(m, lambda + 1) <= coverage(m, lambda));
+    }
+
+    #[test]
+    fn min_makespan_is_tight(n in 1u64..500, lambda in 1u64..12) {
+        let m = min_makespan(n, lambda);
+        prop_assert!(coverage(m, lambda) >= n);
+        if m > 0 {
+            prop_assert!(coverage(m - 1, lambda) < n);
+        }
+    }
+
+    #[test]
+    fn postal_tree_respects_model_makespan((root, dests) in dests_strategy(),
+                                           lat_us in 1u64..30, gap_us in 1u64..30) {
+        prop_assume!(!dests.is_empty());
+        let p = PostalParams::new(
+            SimDuration::from_micros(lat_us),
+            SimDuration::from_micros(gap_us),
+        );
+        let dests: Vec<NodeId> = dests.into_iter().map(NodeId).collect();
+        let tree = SpanningTree::build(NodeId(root), &dests, TreeShape::Postal(p));
+        // Simulate the postal model over the built tree: node finish time =
+        // child i send completes at slot i; child usable lambda slots after
+        // its send started. The worst leaf must meet min_makespan.
+        let lambda = p.lambda();
+        fn finish(tree: &SpanningTree, node: NodeId, start: u64, lambda: u64) -> u64 {
+            let mut worst = start;
+            for (i, &c) in tree.children(node).iter().enumerate() {
+                let child_start = start + (i as u64 + 1) + lambda - 1;
+                worst = worst.max(finish(tree, c, child_start, lambda));
+            }
+            worst
+        }
+        let makespan = finish(&tree, NodeId(root), 0, lambda);
+        let optimal = min_makespan(dests.len() as u64 + 1, lambda);
+        prop_assert!(
+            makespan <= optimal,
+            "postal tree misses its own model's bound: {makespan} > {optimal}"
+        );
+    }
+
+    #[test]
+    fn binomial_root_fanout_is_log2(n in 2u32..64) {
+        let dests: Vec<NodeId> = (1..n).map(NodeId).collect();
+        let tree = SpanningTree::build(NodeId(0), &dests, TreeShape::Binomial);
+        let expect = 32 - (n - 1).leading_zeros();
+        prop_assert_eq!(tree.children(NodeId(0)).len() as u32, expect);
+    }
+}

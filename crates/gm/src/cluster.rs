@@ -1,0 +1,384 @@
+//! The composed world: N hosts, N NICs, one fabric.
+//!
+//! `Cluster<X>` implements [`gm_sim::World`]; its event alphabet [`Ev`]
+//! covers every hand-off in the system (host call arrival, LANai work
+//! completion, DMA completion, wire drain, packet arrival, timers, notice
+//! delivery). All protocol logic lives in [`NicCore`] and the installed
+//! extension; this module only routes events and converts NIC intents into
+//! scheduled events.
+
+use gm_sim::{Engine, Scheduler, SimTime, World};
+use myrinet::{Fabric, NodeId, Packet, Verdict};
+
+use crate::ext::NicExtension;
+use crate::host::{Host, HostApp, HostCall, HostCtx};
+use crate::nic::{Cb, NicCore, Notice, PciJob, TimerTag, TxJob, Work};
+use crate::params::GmParams;
+use crate::trace::{Trace, TraceKind};
+
+/// The cluster's event alphabet.
+#[derive(Debug)]
+pub enum Ev<X: NicExtension> {
+    /// Kick a node's application.
+    AppStart(NodeId),
+    /// A host call (post-overhead) arrives at the NIC.
+    HostCall(NodeId, HostCall<X::Request>),
+    /// A notice reaches the host (delivered when the CPU is free).
+    NoticeArrive(NodeId, Notice<X::Notice>),
+    /// The host CPU freed up; deliver pending notices.
+    HostWake(NodeId),
+    /// A LANai work item's processing time elapsed.
+    LanaiDone(NodeId, Work<X>),
+    /// A PCI DMA transfer completed.
+    PciDone(NodeId, PciJob<X>),
+    /// The transmit engine finished serializing a packet.
+    TxDrained(NodeId, Cb<X::Tag>),
+    /// A packet's tail arrived at a NIC.
+    PacketArrive(NodeId, Packet),
+    /// A timer fired.
+    Timer(NodeId, TimerTag<X::Tag>),
+}
+
+struct Slot<X: NicExtension> {
+    host: Host<X>,
+    nic: NicCore<X>,
+    ext: X,
+    app: Option<Box<dyn HostApp<X>>>,
+    /// Sends the GM library parked while the NIC was out of send tokens
+    /// (a blocking `gm_send` queues client-side; replayed as tokens free).
+    parked_sends: std::collections::VecDeque<crate::nic::SendArgs>,
+}
+
+/// N nodes plus the fabric.
+pub struct Cluster<X: NicExtension> {
+    params: GmParams,
+    fabric: Fabric,
+    slots: Vec<Slot<X>>,
+    start_times: Vec<SimTime>,
+    /// Optional protocol trace (Figure 2 timelines).
+    pub trace: Trace,
+}
+
+impl<X: NicExtension> Cluster<X> {
+    /// Build a cluster of `fabric.topology().n_nodes()` nodes. Extensions
+    /// are produced per node by `mk_ext`; applications default to idle and
+    /// are installed with [`set_app`](Self::set_app).
+    pub fn new(params: GmParams, fabric: Fabric, mut mk_ext: impl FnMut(NodeId) -> X) -> Self {
+        let n = fabric.topology().n_nodes();
+        let slots = (0..n)
+            .map(|i| {
+                let node = NodeId(i);
+                Slot {
+                    host: Host::new(node),
+                    nic: NicCore::new(node, params.clone()),
+                    ext: mk_ext(node),
+                    app: Some(Box::new(crate::host::IdleApp)),
+                    parked_sends: std::collections::VecDeque::new(),
+                }
+            })
+            .collect();
+        Cluster {
+            params,
+            fabric,
+            slots,
+            start_times: vec![SimTime::ZERO; n as usize],
+            trace: Trace::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> u32 {
+        self.slots.len() as u32
+    }
+
+    /// The parameter set.
+    pub fn params(&self) -> &GmParams {
+        &self.params
+    }
+
+    /// The fabric (for fault injection and counters).
+    pub fn fabric_mut(&mut self) -> &mut Fabric {
+        &mut self.fabric
+    }
+
+    /// The fabric, shared.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Install `app` on `node`.
+    pub fn set_app(&mut self, node: NodeId, app: Box<dyn HostApp<X>>) {
+        self.slots[node.idx()].app = Some(app);
+    }
+
+    /// Set the time `node`'s application starts.
+    pub fn set_start(&mut self, node: NodeId, at: SimTime) {
+        self.start_times[node.idx()] = at;
+    }
+
+    /// A node's NIC (counters, token state).
+    pub fn nic(&self, node: NodeId) -> &NicCore<X> {
+        &self.slots[node.idx()].nic
+    }
+
+    /// A node's host (CPU accounting).
+    pub fn host(&self, node: NodeId) -> &Host<X> {
+        &self.slots[node.idx()].host
+    }
+
+    /// A node's extension state.
+    pub fn ext(&self, node: NodeId) -> &X {
+        &self.slots[node.idx()].ext
+    }
+
+    /// Wrap in an engine with every node's `AppStart` scheduled.
+    pub fn into_engine(self) -> Engine<Cluster<X>> {
+        let starts: Vec<(NodeId, SimTime)> = self
+            .start_times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (NodeId(i as u32), t))
+            .collect();
+        let mut eng = Engine::new(self);
+        for (node, at) in starts {
+            eng.schedule(at, Ev::AppStart(node));
+        }
+        eng
+    }
+
+    // -- internals -----------------------------------------------------------
+
+    /// Run an app callback on `node` and pump the fallout.
+    fn with_app(
+        &mut self,
+        node: NodeId,
+        sched: &mut Scheduler<Ev<X>>,
+        f: impl FnOnce(&mut dyn HostApp<X>, &mut HostCtx<'_, X>),
+    ) {
+        let slot = &mut self.slots[node.idx()];
+        let mut app = slot.app.take().expect("app re-entry");
+        {
+            let mut ctx = HostCtx::new(&mut slot.host, &self.params, sched.now());
+            f(app.as_mut(), &mut ctx);
+        }
+        slot.app = Some(app);
+        self.pump_host(node, sched);
+        self.pump_nic(node, sched);
+    }
+
+    /// Schedule the host calls an app produced.
+    fn pump_host(&mut self, node: NodeId, sched: &mut Scheduler<Ev<X>>) {
+        let calls = std::mem::take(&mut self.slots[node.idx()].host.calls);
+        for (at, call) in calls {
+            sched.at(at, Ev::HostCall(node, call));
+        }
+    }
+
+    /// Convert NIC intents into scheduled events.
+    fn pump_nic(&mut self, node: NodeId, sched: &mut Scheduler<Ev<X>>) {
+        let now = sched.now();
+        let slot = &mut self.slots[node.idx()];
+        slot.nic.set_now(now);
+        // Replay parked sends as tokens free up.
+        while slot.nic.send_tokens_free() > 0 {
+            let Some(args) = slot.parked_sends.pop_front() else {
+                break;
+            };
+            let accepted = slot.nic.host_send(args);
+            debug_assert!(accepted, "token accounting out of sync");
+        }
+        if let Some((cost, work)) = slot.nic.lanai_start() {
+            self.trace
+                .record(now, node, TraceKind::LanaiStart(work_name(&work)));
+            sched.after(cost, Ev::LanaiDone(node, work));
+        }
+        if let Some((dur, job)) = slot.nic.pci_start() {
+            self.trace
+                .record(now, node, TraceKind::DmaStart { ns: dur.as_nanos() });
+            sched.after(dur, Ev::PciDone(node, job));
+        }
+        if let Some(TxJob { pkt, cb }) = slot.nic.tx_start() {
+            self.trace.record(now, node, TraceKind::TxStart {
+                dst: pkt.dst,
+                bytes: pkt.wire_bytes(),
+            });
+            let verdict = self.fabric.inject(now, &pkt);
+            sched.at(verdict.src_free(), Ev::TxDrained(node, cb));
+            if let Verdict::Delivered { at, .. } = verdict {
+                let dst = pkt.dst;
+                sched.at(at, Ev::PacketArrive(dst, pkt));
+            }
+        }
+        let slot = &mut self.slots[node.idx()];
+        if slot.nic.take_resource_signal() {
+            slot.ext.resources_available(&mut slot.nic);
+        }
+        for (delay, tag) in slot.nic.drain_timer_reqs() {
+            sched.after(delay, Ev::Timer(node, tag));
+        }
+        for notice in slot.nic.drain_notices() {
+            sched.immediately(Ev::NoticeArrive(node, notice));
+        }
+        // A pump step may have freed a resource another intent was waiting
+        // on (e.g. tx_drained freeing a send buffer enqueues a new DMA), so
+        // iterate until quiescent. Each pass schedules at least one
+        // completion event, so this terminates.
+        if self.slots[node.idx()].nic.wants_pump() {
+            self.pump_nic(node, sched);
+        }
+    }
+
+    /// Deliver a notice now if the host is free; otherwise queue it.
+    fn deliver_or_queue(
+        &mut self,
+        node: NodeId,
+        notice: Notice<X::Notice>,
+        sched: &mut Scheduler<Ev<X>>,
+    ) {
+        let slot = &mut self.slots[node.idx()];
+        let free_at = slot.host.free_at();
+        if sched.now() < free_at {
+            slot.host.pending.push_back(notice);
+            if !slot.host.wake_scheduled {
+                slot.host.wake_scheduled = true;
+                sched.at(free_at, Ev::HostWake(node));
+            }
+            return;
+        }
+        self.deliver(node, notice, sched);
+    }
+
+    /// Deliver one notice: charge the host's handling cost, then run the app.
+    fn deliver(&mut self, node: NodeId, notice: Notice<X::Notice>, sched: &mut Scheduler<Ev<X>>) {
+        let (cost, name) = match &notice {
+            Notice::Recv { .. } => (self.params.host_recv_event, "recv"),
+            Notice::SendComplete { .. } => (self.params.host_send_complete, "send_complete"),
+            Notice::ComputeDone { .. } => (gm_sim::SimDuration::ZERO, "compute_done"),
+            Notice::Ext(_) => (self.params.host_send_complete, "ext"),
+        };
+        self.trace.record(sched.now(), node, TraceKind::Notice(name));
+        self.slots[node.idx()].host.charge(sched.now(), cost);
+        self.with_app(node, sched, |app, ctx| app.on_notice(notice, ctx));
+    }
+
+    /// The host CPU freed up: deliver as many pending notices as possible.
+    fn host_wake(&mut self, node: NodeId, sched: &mut Scheduler<Ev<X>>) {
+        self.slots[node.idx()].host.wake_scheduled = false;
+        loop {
+            let slot = &mut self.slots[node.idx()];
+            if slot.host.pending.is_empty() {
+                return;
+            }
+            let free_at = slot.host.free_at();
+            if sched.now() < free_at {
+                if !slot.host.wake_scheduled {
+                    slot.host.wake_scheduled = true;
+                    sched.at(free_at, Ev::HostWake(node));
+                }
+                return;
+            }
+            let notice = slot.host.pending.pop_front().expect("nonempty");
+            self.deliver(node, notice, sched);
+        }
+    }
+}
+
+impl<X: NicExtension> World for Cluster<X> {
+    type Event = Ev<X>;
+
+    fn handle(&mut self, event: Ev<X>, sched: &mut Scheduler<Ev<X>>) {
+        match event {
+            Ev::AppStart(n) => {
+                self.with_app(n, sched, |app, ctx| app.on_start(ctx));
+            }
+            Ev::HostCall(n, call) => {
+                let now = sched.now();
+                let slot = &mut self.slots[n.idx()];
+                slot.nic.set_now(now);
+                match call {
+                    HostCall::Send(args) => {
+                        self.trace.record(now, n, TraceKind::HostCall("send"));
+                        if slot.nic.send_tokens_free() == 0 || !slot.parked_sends.is_empty() {
+                            // Out of tokens (or behind earlier parked
+                            // sends): queue client-side, replay in order
+                            // once acknowledgments return tokens.
+                            slot.parked_sends.push_back(args);
+                        } else {
+                            let accepted = slot.nic.host_send(args);
+                            assert!(accepted, "{n}: token accounting out of sync");
+                        }
+                    }
+                    HostCall::ProvideRecv { port, n: count } => {
+                        slot.nic.host_provide_recv(port, count);
+                    }
+                    HostCall::Ext(req) => {
+                        self.trace.record(now, n, TraceKind::HostCall("ext"));
+                        let cost = slot.ext.request_cost(&req, &self.params);
+                        slot.nic.host_ext_request(cost, req);
+                    }
+                    HostCall::ComputeDone { tag } => {
+                        self.deliver_or_queue(n, Notice::ComputeDone { tag }, sched);
+                        return;
+                    }
+                }
+                self.pump_nic(n, sched);
+            }
+            Ev::NoticeArrive(n, notice) => {
+                self.deliver_or_queue(n, notice, sched);
+            }
+            Ev::HostWake(n) => {
+                self.host_wake(n, sched);
+            }
+            Ev::LanaiDone(n, work) => {
+                let slot = &mut self.slots[n.idx()];
+                slot.nic.set_now(sched.now());
+                self.trace
+                    .record(sched.now(), n, TraceKind::LanaiEnd(work_name(&work)));
+                let slot = &mut self.slots[n.idx()];
+                slot.nic.lanai_finish(work, &mut slot.ext);
+                self.pump_nic(n, sched);
+            }
+            Ev::PciDone(n, job) => {
+                self.trace.record(sched.now(), n, TraceKind::DmaEnd);
+                let slot = &mut self.slots[n.idx()];
+                slot.nic.set_now(sched.now());
+                slot.nic.pci_finish(job, &mut slot.ext);
+                self.pump_nic(n, sched);
+            }
+            Ev::TxDrained(n, cb) => {
+                self.trace.record(sched.now(), n, TraceKind::TxEnd);
+                let slot = &mut self.slots[n.idx()];
+                slot.nic.set_now(sched.now());
+                slot.nic.tx_drained(cb);
+                self.pump_nic(n, sched);
+            }
+            Ev::PacketArrive(n, pkt) => {
+                self.trace
+                    .record(sched.now(), n, TraceKind::RxArrive { src: pkt.src });
+                let slot = &mut self.slots[n.idx()];
+                slot.nic.set_now(sched.now());
+                slot.nic.packet_arrived(pkt);
+                self.pump_nic(n, sched);
+            }
+            Ev::Timer(n, tag) => {
+                let slot = &mut self.slots[n.idx()];
+                slot.nic.set_now(sched.now());
+                slot.nic.timer_fired(tag, &mut slot.ext);
+                self.pump_nic(n, sched);
+            }
+        }
+    }
+}
+
+fn work_name<X: NicExtension>(w: &Work<X>) -> &'static str {
+    match w {
+        Work::SendToken { .. } => "send_token",
+        Work::RxData(_) => "rx_data",
+        Work::RxAck(_) => "rx_ack",
+        Work::RxExt(_) => "rx_ext",
+        Work::HostReq(_) => "host_req",
+        Work::Callback(_) => "callback",
+        Work::ExtWork(_) => "ext_work",
+    }
+}
+

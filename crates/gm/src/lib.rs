@@ -1,0 +1,69 @@
+//! `gm` — a GM-2-like user-level protocol over the simulated Myrinet fabric.
+//!
+//! This crate models the node: a host processor running applications against
+//! the GM library API, and a LANai-like NIC running the GM firmware —
+//! send/receive tokens, registered-memory DMA, per-connection Go-Back-N
+//! reliability with acks and timeout/retransmission, and GM-2's packet
+//! descriptors with callback handlers.
+//!
+//! The NIC-based multicast of the paper is *not* here: it is an extension
+//! (see [`NicExtension`]) implemented in the `nic-mcast` crate, exactly as
+//! the original work was a modification layered on GM-2.0 alpha1's
+//! descriptor/callback mechanism.
+//!
+//! # Quick start
+//!
+//! ```
+//! use bytes::Bytes;
+//! use gm::{Cluster, GmParams, HostApp, HostCtx, NoExt, Notice};
+//! use gm_sim::SimTime;
+//! use myrinet::{Fabric, NodeId, PortId, Topology};
+//!
+//! // A sender app and an echoing receiver app.
+//! struct Sender;
+//! impl HostApp<NoExt> for Sender {
+//!     fn on_start(&mut self, ctx: &mut HostCtx<'_, NoExt>) {
+//!         ctx.send(NodeId(1), PortId(0), PortId(0), Bytes::from_static(b"hi"), 7);
+//!     }
+//!     fn on_notice(&mut self, n: Notice<gm::Never>, _ctx: &mut HostCtx<'_, NoExt>) {
+//!         if let Notice::SendComplete { tag, .. } = n {
+//!             assert_eq!(tag, 7);
+//!         }
+//!     }
+//! }
+//! struct Receiver;
+//! impl HostApp<NoExt> for Receiver {
+//!     fn on_start(&mut self, ctx: &mut HostCtx<'_, NoExt>) {
+//!         ctx.provide_recv(PortId(0), 1);
+//!     }
+//!     fn on_notice(&mut self, n: Notice<gm::Never>, _ctx: &mut HostCtx<'_, NoExt>) {
+//!         if let Notice::Recv { data, .. } = n {
+//!             assert_eq!(&data[..], b"hi");
+//!         }
+//!     }
+//! }
+//!
+//! let fabric = Fabric::new(Topology::for_nodes(2), 1);
+//! let mut cluster = Cluster::new(GmParams::default(), fabric, |_| NoExt);
+//! cluster.set_app(NodeId(0), Box::new(Sender));
+//! cluster.set_app(NodeId(1), Box::new(Receiver));
+//! let mut eng = cluster.into_engine();
+//! eng.run_to_idle();
+//! assert!(eng.now() > SimTime::ZERO);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cluster;
+mod ext;
+mod host;
+mod nic;
+mod params;
+mod trace;
+
+pub use cluster::{Cluster, Ev};
+pub use ext::{Never, NicExtension, NoExt};
+pub use host::{Host, HostApp, HostCall, HostCtx, IdleApp};
+pub use nic::{Cb, ConnKey, NicCore, Notice, PciJob, SendArgs, TimerTag, TxJob, Work};
+pub use params::{GmParams, EAGER_LIMIT};
+pub use trace::{Trace, TraceEvent, TraceKind};

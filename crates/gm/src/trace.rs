@@ -1,0 +1,129 @@
+//! Event tracing, used to regenerate the paper's Figure 2 timing diagrams
+//! (host-based unicasts vs NIC-based multisend vs NIC-based forwarding).
+
+use gm_sim::SimTime;
+use myrinet::NodeId;
+
+/// One recorded protocol step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub time: SimTime,
+    /// Which node it happened on.
+    pub node: NodeId,
+    /// What happened.
+    pub what: TraceKind,
+}
+
+/// The protocol steps worth plotting on a timeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A host call reached the NIC (doorbell).
+    HostCall(&'static str),
+    /// The LANai started a work item.
+    LanaiStart(&'static str),
+    /// The LANai finished a work item.
+    LanaiEnd(&'static str),
+    /// A packet started serializing onto the wire.
+    TxStart {
+        /// Destination node.
+        dst: NodeId,
+        /// Wire bytes.
+        bytes: u64,
+    },
+    /// The transmit engine drained (wire free).
+    TxEnd,
+    /// A packet's tail arrived from the wire.
+    RxArrive {
+        /// Source node.
+        src: NodeId,
+    },
+    /// A PCI DMA transfer started.
+    DmaStart {
+        /// Transfer duration in nanoseconds (startup + bytes/bandwidth).
+        ns: u64,
+    },
+    /// A PCI DMA transfer completed.
+    DmaEnd,
+    /// A notice was delivered to the host application.
+    Notice(&'static str),
+}
+
+/// A bounded in-memory trace (disabled by default: zero overhead beyond a
+/// branch).
+#[derive(Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// A disabled trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Start recording.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Stop recording (events are kept).
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record one event if enabled.
+    #[inline]
+    pub fn record(&mut self, time: SimTime, node: NodeId, what: TraceKind) {
+        if self.enabled {
+            self.events.push(TraceEvent { time, node, what });
+        }
+    }
+
+    /// All recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Drop recorded events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new();
+        t.record(SimTime::ZERO, NodeId(0), TraceKind::TxEnd);
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let mut t = Trace::new();
+        t.enable();
+        t.record(SimTime::from_nanos(1), NodeId(0), TraceKind::TxEnd);
+        t.record(
+            SimTime::from_nanos(2),
+            NodeId(1),
+            TraceKind::RxArrive { src: NodeId(0) },
+        );
+        assert_eq!(t.events().len(), 2);
+        assert!(t.events()[0].time < t.events()[1].time);
+        t.disable();
+        t.record(SimTime::from_nanos(3), NodeId(0), TraceKind::TxEnd);
+        assert_eq!(t.events().len(), 2);
+        t.clear();
+        assert!(t.events().is_empty());
+    }
+}

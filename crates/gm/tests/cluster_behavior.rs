@@ -1,0 +1,171 @@
+//! Cluster-level behaviours: host-CPU serialization of notice delivery,
+//! client-side send parking under token exhaustion, and protocol tracing.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use gm::{Cluster, GmParams, HostApp, HostCtx, Never, NoExt, Notice, TraceKind};
+use gm_sim::{SimDuration, SimTime};
+use myrinet::{Fabric, NodeId, PortId, Topology};
+
+const P0: PortId = PortId(0);
+
+#[test]
+fn notices_wait_for_a_busy_host() {
+    // The receiver computes for 500us immediately; a message arriving at
+    // ~6us must only be delivered when the CPU frees up.
+    struct BusyReceiver {
+        delivered_at: Rc<RefCell<SimTime>>,
+    }
+    impl HostApp<NoExt> for BusyReceiver {
+        fn on_start(&mut self, ctx: &mut HostCtx<'_, NoExt>) {
+            ctx.provide_recv(P0, 1);
+            ctx.compute(SimDuration::from_micros(500), 1);
+        }
+        fn on_notice(&mut self, n: Notice<Never>, ctx: &mut HostCtx<'_, NoExt>) {
+            if let Notice::Recv { .. } = n {
+                *self.delivered_at.borrow_mut() = ctx.now();
+            }
+        }
+    }
+    struct Sender;
+    impl HostApp<NoExt> for Sender {
+        fn on_start(&mut self, ctx: &mut HostCtx<'_, NoExt>) {
+            ctx.send(NodeId(1), P0, P0, Bytes::from_static(b"hi"), 0);
+        }
+        fn on_notice(&mut self, _: Notice<Never>, _: &mut HostCtx<'_, NoExt>) {}
+    }
+    let delivered_at = Rc::new(RefCell::new(SimTime::ZERO));
+    let mut c = Cluster::new(GmParams::default(), Fabric::new(Topology::for_nodes(2), 1), |_| NoExt);
+    c.set_app(NodeId(0), Box::new(Sender));
+    c.set_app(
+        NodeId(1),
+        Box::new(BusyReceiver {
+            delivered_at: delivered_at.clone(),
+        }),
+    );
+    c.into_engine().run_to_idle();
+    let at = *delivered_at.borrow();
+    assert!(
+        at >= SimTime::ZERO + SimDuration::from_micros(500),
+        "notice delivered at {at} while the host was computing"
+    );
+    // ...but immediately after, not much later.
+    assert!(at < SimTime::ZERO + SimDuration::from_micros(510));
+}
+
+#[test]
+fn sends_park_when_tokens_run_out_and_replay_in_order() {
+    // A sender bursts far more messages than it has send tokens while the
+    // receiver acks slowly enough that tokens cannot recycle instantly.
+    let params = GmParams {
+        send_tokens: 3,
+        ..GmParams::default()
+    };
+    const MSGS: u64 = 20;
+
+    struct Burst;
+    impl HostApp<NoExt> for Burst {
+        fn on_start(&mut self, ctx: &mut HostCtx<'_, NoExt>) {
+            for i in 0..MSGS {
+                ctx.send(NodeId(1), P0, P0, Bytes::from(vec![i as u8; 2000]), i);
+            }
+        }
+        fn on_notice(&mut self, _: Notice<Never>, _: &mut HostCtx<'_, NoExt>) {}
+    }
+    struct Sink {
+        got: Rc<RefCell<Vec<u64>>>,
+    }
+    impl HostApp<NoExt> for Sink {
+        fn on_start(&mut self, ctx: &mut HostCtx<'_, NoExt>) {
+            ctx.provide_recv(P0, MSGS as usize);
+        }
+        fn on_notice(&mut self, n: Notice<Never>, ctx: &mut HostCtx<'_, NoExt>) {
+            if let Notice::Recv { tag, .. } = n {
+                ctx.provide_recv(P0, 1);
+                self.got.borrow_mut().push(tag);
+            }
+        }
+    }
+    let got = Rc::new(RefCell::new(Vec::new()));
+    let mut c = Cluster::new(params, Fabric::new(Topology::for_nodes(2), 2), |_| NoExt);
+    c.set_app(NodeId(0), Box::new(Burst));
+    c.set_app(NodeId(1), Box::new(Sink { got: got.clone() }));
+    let mut eng = c.into_engine();
+    eng.run_to_idle();
+    assert_eq!(
+        *got.borrow(),
+        (0..MSGS).collect::<Vec<u64>>(),
+        "parked sends must replay in post order"
+    );
+    // The pool really was exhausted at some point.
+    assert!(eng.world().nic(NodeId(0)).counters.get("acked_packets") >= MSGS);
+}
+
+#[test]
+fn trace_captures_the_full_protocol_pipeline() {
+    struct Sender;
+    impl HostApp<NoExt> for Sender {
+        fn on_start(&mut self, ctx: &mut HostCtx<'_, NoExt>) {
+            ctx.send(NodeId(1), P0, P0, Bytes::from_static(b"traced"), 0);
+        }
+        fn on_notice(&mut self, _: Notice<Never>, _: &mut HostCtx<'_, NoExt>) {}
+    }
+    struct Receiver;
+    impl HostApp<NoExt> for Receiver {
+        fn on_start(&mut self, ctx: &mut HostCtx<'_, NoExt>) {
+            ctx.provide_recv(P0, 1);
+        }
+        fn on_notice(&mut self, _: Notice<Never>, _: &mut HostCtx<'_, NoExt>) {}
+    }
+    let mut c = Cluster::new(GmParams::default(), Fabric::new(Topology::for_nodes(2), 3), |_| NoExt);
+    c.set_app(NodeId(0), Box::new(Sender));
+    c.set_app(NodeId(1), Box::new(Receiver));
+    c.trace.enable();
+    let mut eng = c.into_engine();
+    eng.run_to_idle();
+    let events = eng.world().trace.events();
+    // The pipeline appears in causal order on the sender...
+    let idx = |node: u32, pred: &dyn Fn(&TraceKind) -> bool| {
+        events
+            .iter()
+            .position(|e| e.node == NodeId(node) && pred(&e.what))
+    };
+    let host_call = idx(0, &|k| matches!(k, TraceKind::HostCall("send"))).expect("host call");
+    let lanai = idx(0, &|k| matches!(k, TraceKind::LanaiStart("send_token"))).expect("lanai");
+    let dma = idx(0, &|k| matches!(k, TraceKind::DmaStart { .. })).expect("sdma");
+    let tx = idx(0, &|k| matches!(k, TraceKind::TxStart { .. })).expect("tx");
+    assert!(host_call < lanai && lanai < dma && dma < tx);
+    // ...and the receiver sees arrival, then its own notice.
+    let rx = idx(1, &|k| matches!(k, TraceKind::RxArrive { .. })).expect("rx");
+    let notice = idx(1, &|k| matches!(k, TraceKind::Notice("recv"))).expect("notice");
+    assert!(rx < notice);
+    // Timestamps never regress.
+    for w in events.windows(2) {
+        assert!(w[0].time <= w[1].time);
+    }
+}
+
+#[test]
+fn staggered_app_starts_are_honoured() {
+    struct Stamp {
+        at: Rc<RefCell<SimTime>>,
+    }
+    impl HostApp<NoExt> for Stamp {
+        fn on_start(&mut self, ctx: &mut HostCtx<'_, NoExt>) {
+            *self.at.borrow_mut() = ctx.now();
+        }
+        fn on_notice(&mut self, _: Notice<Never>, _: &mut HostCtx<'_, NoExt>) {}
+    }
+    let stamps: Vec<Rc<RefCell<SimTime>>> = (0..3).map(|_| Rc::default()).collect();
+    let mut c = Cluster::new(GmParams::default(), Fabric::new(Topology::for_nodes(3), 4), |_| NoExt);
+    for (i, s) in stamps.iter().enumerate() {
+        c.set_app(NodeId(i as u32), Box::new(Stamp { at: s.clone() }));
+        c.set_start(NodeId(i as u32), SimTime::from_nanos(1_000 * i as u64));
+    }
+    c.into_engine().run_to_idle();
+    for (i, s) in stamps.iter().enumerate() {
+        assert_eq!(s.borrow().as_nanos(), 1_000 * i as u64);
+    }
+}

@@ -1,0 +1,136 @@
+//! MPI wire vocabulary: tag encoding and control-message payloads.
+//!
+//! All MPI point-to-point traffic runs over GM port 2; NIC-based broadcast
+//! data arrives on GM port 0 (the multicast group's delivery port). A GM
+//! tag is 64 bits: the top byte carries the protocol context, the rest the
+//! context-specific value (iteration number, barrier round, user tag).
+
+use bytes::{Bytes, BytesMut};
+use myrinet::{NodeId, PortId};
+
+/// GM port used for MPI point-to-point messages.
+pub const MPI_PORT: PortId = PortId(2);
+/// GM port multicast groups deliver broadcast payloads on.
+pub const BCAST_PORT: PortId = PortId(0);
+
+/// Protocol context of a message tag (top byte).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum Ctx {
+    /// Dissemination-barrier round message.
+    Barrier = 1,
+    /// Broadcast payload (eager, host-based tree or multicast delivery).
+    Bcast = 2,
+    /// Group-membership installation request (root -> member).
+    GroupSetup = 3,
+    /// Group-membership acknowledgment (member -> root).
+    GroupAck = 4,
+    /// Rendezvous request-to-send.
+    Rts = 5,
+    /// Rendezvous clear-to-send.
+    Cts = 6,
+    /// Rendezvous bulk data.
+    RndvData = 7,
+    /// User point-to-point payload (eager).
+    P2p = 8,
+    /// Host-internal compute completions (copy costs, skew).
+    Internal = 9,
+}
+
+/// Compose a tag from a context and a 56-bit value.
+pub fn tag(ctx: Ctx, value: u64) -> u64 {
+    debug_assert!(value < (1 << 56));
+    ((ctx as u64) << 56) | value
+}
+
+/// Split a tag into its context byte and value.
+pub fn untag(t: u64) -> (u8, u64) {
+    ((t >> 56) as u8, t & ((1 << 56) - 1))
+}
+
+/// Compose a barrier tag: sequence number (48 bits) and round (8 bits).
+pub fn barrier_tag(seq: u64, round: u32) -> u64 {
+    debug_assert!(seq < (1 << 48) && round < 256);
+    tag(Ctx::Barrier, (seq << 8) | round as u64)
+}
+
+/// Payload of a `GroupSetup` control message: this member's slice of the
+/// spanning tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupSetup {
+    /// Root rank that owns the group.
+    pub root: u32,
+    /// The member's parent node.
+    pub parent: NodeId,
+    /// The member's children.
+    pub children: Vec<NodeId>,
+}
+
+impl GroupSetup {
+    /// Serialize to wire bytes (little-endian u32s).
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(8 + 4 * self.children.len());
+        b.extend_from_slice(&self.root.to_le_bytes());
+        b.extend_from_slice(&self.parent.0.to_le_bytes());
+        b.extend_from_slice(&(self.children.len() as u32).to_le_bytes());
+        for c in &self.children {
+            b.extend_from_slice(&c.0.to_le_bytes());
+        }
+        b.freeze()
+    }
+
+    /// Parse from wire bytes. Panics on malformed input (simulation-internal
+    /// messages are trusted).
+    pub fn decode(data: &[u8]) -> GroupSetup {
+        let u32_at = |i: usize| -> u32 {
+            u32::from_le_bytes(data[i..i + 4].try_into().expect("4 bytes"))
+        };
+        let root = u32_at(0);
+        let parent = NodeId(u32_at(4));
+        let k = u32_at(8) as usize;
+        let children = (0..k).map(|i| NodeId(u32_at(12 + 4 * i))).collect();
+        GroupSetup {
+            root,
+            parent,
+            children,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_roundtrip() {
+        let t = tag(Ctx::Bcast, 12345);
+        let (c, v) = untag(t);
+        assert_eq!(c, Ctx::Bcast as u8);
+        assert_eq!(v, 12345);
+    }
+
+    #[test]
+    fn barrier_tag_packs_seq_and_round() {
+        let t = barrier_tag(7, 3);
+        let (c, v) = untag(t);
+        assert_eq!(c, Ctx::Barrier as u8);
+        assert_eq!(v >> 8, 7);
+        assert_eq!(v & 0xFF, 3);
+    }
+
+    #[test]
+    fn group_setup_roundtrip() {
+        let g = GroupSetup {
+            root: 4,
+            parent: NodeId(2),
+            children: vec![NodeId(9), NodeId(11), NodeId(15)],
+        };
+        assert_eq!(GroupSetup::decode(&g.encode()), g);
+        let leaf = GroupSetup {
+            root: 0,
+            parent: NodeId(0),
+            children: vec![],
+        };
+        assert_eq!(GroupSetup::decode(&leaf.encode()), leaf);
+    }
+}

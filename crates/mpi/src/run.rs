@@ -1,0 +1,242 @@
+//! MPI-run harness: builds a cluster of ranks, runs a program to
+//! completion, and returns the collective measurements.
+
+use gm::{Cluster, GmParams, EAGER_LIMIT};
+use gm_sim::{OnlineStats, SimDuration, SimTime};
+use myrinet::{Fabric, FaultPlan, NetParams, NodeId, Topology};
+use nic_mcast::{shape_for_size, McastConfig, McastExt, TreeShape};
+
+use crate::rank::{BcastImpl, MpiOp, RankApp, RankCfg};
+use crate::stats::MpiStats;
+
+/// Default host memcpy bandwidth for eager bounce-buffer copies
+/// (PIII-700-era, bytes/s).
+pub const DEFAULT_COPY_BANDWIDTH: u64 = 400_000_000;
+
+/// Everything describing one MPI experiment.
+///
+/// ```
+/// use gm_mpi::{execute_mpi, BcastImpl, MpiRun};
+/// use gm_sim::SimDuration;
+///
+/// // 8 ranks, 512-byte NIC-based broadcasts, 200us average skew.
+/// let run = MpiRun::bcast_loop(
+///     8, 512, BcastImpl::NicBased, SimDuration::from_micros(800), 2, 10,
+/// );
+/// let out = execute_mpi(&run);
+/// assert_eq!(out.latency.count(), 10);
+/// assert!(out.skew_applied.count() > 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MpiRun {
+    /// Number of ranks.
+    pub n_ranks: u32,
+    /// The op program each rank repeats.
+    pub ops: Vec<MpiOp>,
+    /// Optional per-rank program override (length must equal `n_ranks`);
+    /// ranks without an override run `ops`.
+    pub rank_ops: Option<Vec<Vec<MpiOp>>>,
+    /// The communicator: sorted world ranks participating in collectives
+    /// (`None` = MPI_COMM_WORLD). Ranks outside the communicator run no
+    /// program at all.
+    pub comm: Option<Vec<u32>>,
+    /// Repetitions (warmup + timed).
+    pub repeat: u32,
+    /// Broadcast ordinals excluded from aggregates.
+    pub warmup: u32,
+    /// Broadcast algorithm under test.
+    pub bcast: BcastImpl,
+    /// Eager/rendezvous switchover.
+    pub eager_limit: usize,
+    /// Host memcpy bandwidth.
+    pub copy_bandwidth: u64,
+    /// Tree shape for NIC-based groups (defaults from the first Bcast op's
+    /// size via `shape_for_size`).
+    pub nic_tree: Option<TreeShape>,
+    /// Allow NIC-based broadcast above the eager limit (future-work
+    /// extension; the paper's implementation falls back to host-based).
+    pub nic_rndv: bool,
+    /// Master seed.
+    pub seed: u64,
+    /// Node parameters.
+    pub params: GmParams,
+    /// Network parameters.
+    pub net: NetParams,
+    /// Fault plan.
+    pub faults: FaultPlan,
+    /// Multicast firmware ablation switches.
+    pub mcast_config: McastConfig,
+}
+
+impl MpiRun {
+    /// The canonical benchmark loop: `repeat x { Barrier; [Skew]; Bcast }`.
+    pub fn bcast_loop(
+        n_ranks: u32,
+        size: usize,
+        bcast: BcastImpl,
+        skew_max: SimDuration,
+        warmup: u32,
+        iters: u32,
+    ) -> MpiRun {
+        let mut ops = vec![MpiOp::Barrier];
+        if skew_max > SimDuration::ZERO {
+            ops.push(MpiOp::SkewUniform { max: skew_max });
+        }
+        ops.push(MpiOp::Bcast { root: 0, size });
+        MpiRun {
+            n_ranks,
+            ops,
+            rank_ops: None,
+            comm: None,
+            repeat: warmup + iters,
+            warmup,
+            bcast,
+            eager_limit: EAGER_LIMIT,
+            copy_bandwidth: DEFAULT_COPY_BANDWIDTH,
+            nic_tree: None,
+            nic_rndv: false,
+            seed: 0x6D_7069,
+            params: GmParams::default(),
+            net: NetParams::default(),
+            faults: FaultPlan::none(),
+            mcast_config: McastConfig::default(),
+        }
+    }
+}
+
+/// Aggregated results of one MPI run.
+#[derive(Clone, Debug)]
+pub struct MpiOutput {
+    /// Per-iteration broadcast latency (max rank exit − root enter), µs.
+    pub latency: OnlineStats,
+    /// Time inside `MPI_Bcast` across ranks and iterations, µs.
+    pub bcast_cpu: OnlineStats,
+    /// Same, non-root ranks only.
+    pub bcast_cpu_nonroot: OnlineStats,
+    /// Positive skew actually applied, µs.
+    pub skew_applied: OnlineStats,
+    /// Steady-state barrier round time (consecutive-completion gaps), µs.
+    pub barrier_round: OnlineStats,
+    /// Total simulated time.
+    pub end_time: SimTime,
+    /// Events dispatched.
+    pub events: u64,
+}
+
+/// Execute `run` to completion.
+pub fn execute_mpi(run: &MpiRun) -> MpiOutput {
+    assert!(run.n_ranks >= 2, "need at least two ranks");
+    let bcast_size = run
+        .ops
+        .iter()
+        .find_map(|op| match op {
+            MpiOp::Bcast { size, .. } => Some(*size),
+            _ => None,
+        })
+        .unwrap_or(0);
+    let nic_tree = run.nic_tree.unwrap_or_else(|| {
+        shape_for_size(
+            bcast_size.max(1),
+            run.n_ranks as usize - 1,
+            &run.params,
+            &run.net,
+            2,
+        )
+    });
+    if let Some(per_rank) = &run.rank_ops {
+        assert_eq!(per_rank.len(), run.n_ranks as usize, "one program per rank");
+    }
+    let ops_for = |r: u32| -> &Vec<MpiOp> {
+        run.rank_ops
+            .as_ref()
+            .map(|v| &v[r as usize])
+            .unwrap_or(&run.ops)
+    };
+    let bcasts_per_repeat = run
+        .ops
+        .iter()
+        .filter(|op| matches!(op, MpiOp::Bcast { .. }))
+        .count() as u32;
+    let barriers_per_repeat = run
+        .ops
+        .iter()
+        .filter(|op| matches!(op, MpiOp::Barrier))
+        .count() as u32;
+    let stats = MpiStats::new(
+        run.warmup * bcasts_per_repeat,
+        run.repeat * bcasts_per_repeat,
+        run.repeat * barriers_per_repeat,
+    );
+    let comm: Vec<u32> = match &run.comm {
+        Some(c) => {
+            let mut c = c.clone();
+            c.sort_unstable();
+            c.dedup();
+            assert!(c.len() >= 2, "a communicator needs at least two ranks");
+            assert!(
+                c.iter().all(|&r| r < run.n_ranks),
+                "communicator rank out of range"
+            );
+            c
+        }
+        None => (0..run.n_ranks).collect(),
+    };
+    let cfg = RankCfg {
+        n: run.n_ranks,
+        comm: comm.clone(),
+        bcast: run.bcast,
+        eager_limit: run.eager_limit,
+        copy_bandwidth: run.copy_bandwidth,
+        nic_tree,
+        nic_rndv: run.nic_rndv,
+        warmup: run.warmup * bcasts_per_repeat,
+        seed: run.seed,
+    };
+    let topo = Topology::for_nodes(run.n_ranks);
+    let fabric = Fabric::with_config(topo, run.net, run.faults.clone(), run.seed);
+    let mcfg = run.mcast_config;
+    let mut cluster = Cluster::new(run.params.clone(), fabric, |_| McastExt::with_config(mcfg));
+    for &r in &comm {
+        cluster.set_app(
+            NodeId(r),
+            Box::new(RankApp::new(
+                cfg.clone(),
+                r,
+                ops_for(r).clone(),
+                run.repeat,
+                stats.clone(),
+            )),
+        );
+    }
+    let mut eng = cluster.into_engine();
+    let outcome = eng.run(SimTime::MAX, 4_000_000_000);
+    assert_eq!(
+        outcome,
+        gm_sim::RunOutcome::Idle,
+        "MPI run did not converge"
+    );
+    let s = stats.borrow();
+    let expected: u64 = comm
+        .iter()
+        .map(|&r| {
+            run.repeat as u64
+                * ops_for(r)
+                    .iter()
+                    .filter(|op| matches!(op, MpiOp::Bcast { .. }))
+                    .count() as u64
+        })
+        .sum();
+    assert_eq!(
+        s.bcasts_completed, expected,
+        "every rank must complete every broadcast"
+    );
+    MpiOutput {
+        latency: s.latencies(),
+        bcast_cpu: s.bcast_cpu.clone(),
+        bcast_cpu_nonroot: s.bcast_cpu_nonroot.clone(),
+        skew_applied: s.skew_applied.clone(),
+        barrier_round: s.barrier_round(),
+        end_time: eng.now(),
+        events: eng.events_handled(),
+    }
+}

@@ -1,0 +1,134 @@
+//! Measurements shared by every rank of an MPI run.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use gm_sim::{OnlineStats, SimTime};
+
+/// Collective measurements, indexed by broadcast ordinal (the i-th
+/// `MPI_Bcast` every rank executes).
+#[derive(Debug)]
+pub struct MpiStats {
+    /// Iterations excluded from the aggregates.
+    pub warmup: u32,
+    /// Root's entry time per broadcast ordinal.
+    pub enter_root: Vec<SimTime>,
+    /// Latest exit time over all ranks per broadcast ordinal.
+    pub exit_max: Vec<SimTime>,
+    /// Time spent inside `MPI_Bcast` (µs), all ranks, post-warmup.
+    pub bcast_cpu: OnlineStats,
+    /// Same, excluding the root.
+    pub bcast_cpu_nonroot: OnlineStats,
+    /// Positive skew actually applied (µs), post-warmup.
+    pub skew_applied: OnlineStats,
+    /// Completed broadcast ops across all ranks.
+    pub bcasts_completed: u64,
+    /// Latest exit time over all ranks per barrier ordinal.
+    pub barrier_exit_max: Vec<SimTime>,
+}
+
+/// Shared handle to the run's stats.
+pub type SharedStats = Rc<RefCell<MpiStats>>;
+
+impl MpiStats {
+    /// Pre-sized stats for `total` broadcast ordinals and `barriers`
+    /// barrier ordinals.
+    pub fn new(warmup: u32, total: u32, barriers: u32) -> SharedStats {
+        Rc::new(RefCell::new(MpiStats {
+            warmup,
+            enter_root: vec![SimTime::ZERO; total as usize],
+            exit_max: vec![SimTime::ZERO; total as usize],
+            bcast_cpu: OnlineStats::new(),
+            bcast_cpu_nonroot: OnlineStats::new(),
+            skew_applied: OnlineStats::new(),
+            bcasts_completed: 0,
+            barrier_exit_max: vec![SimTime::ZERO; barriers as usize],
+        }))
+    }
+
+    /// Record a rank leaving barrier `ordinal`.
+    pub fn record_barrier_exit(&mut self, ordinal: u64, exit: SimTime) {
+        if let Some(slot) = self.barrier_exit_max.get_mut(ordinal as usize) {
+            *slot = (*slot).max(exit);
+        }
+    }
+
+    /// Steady-state barrier round time: mean gap between consecutive
+    /// barrier completions (post-warmup), in microseconds.
+    pub fn barrier_round(&self) -> OnlineStats {
+        let mut s = OnlineStats::new();
+        let xs = &self.barrier_exit_max;
+        for i in (self.warmup.max(1) as usize)..xs.len() {
+            if xs[i] > SimTime::ZERO && xs[i - 1] > SimTime::ZERO {
+                s.record_duration(xs[i].saturating_since(xs[i - 1]));
+            }
+        }
+        s
+    }
+
+    /// Record the root entering broadcast `ordinal`.
+    pub fn record_enter(&mut self, ordinal: u32, at: SimTime) {
+        self.enter_root[ordinal as usize] = at;
+    }
+
+    /// Record a rank leaving broadcast `ordinal`.
+    pub fn record_exit(
+        &mut self,
+        ordinal: u32,
+        is_root: bool,
+        enter: SimTime,
+        exit: SimTime,
+    ) {
+        self.bcasts_completed += 1;
+        let prev = self.exit_max[ordinal as usize];
+        self.exit_max[ordinal as usize] = prev.max(exit);
+        if ordinal >= self.warmup {
+            let cpu = exit.saturating_since(enter);
+            self.bcast_cpu.record_duration(cpu);
+            if !is_root {
+                self.bcast_cpu_nonroot.record_duration(cpu);
+            }
+        }
+    }
+
+    /// Per-ordinal broadcast latency (max exit − root enter), post-warmup,
+    /// in microseconds.
+    pub fn latencies(&self) -> OnlineStats {
+        let mut s = OnlineStats::new();
+        for i in self.warmup as usize..self.enter_root.len() {
+            s.record_duration(self.exit_max[i].saturating_since(self.enter_root[i]));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_sim::SimDuration;
+
+    #[test]
+    fn latency_is_max_exit_minus_root_enter() {
+        let shared = MpiStats::new(1, 3, 0);
+        let mut s = shared.borrow_mut();
+        for ord in 0..3u32 {
+            let base = SimTime::from_nanos(1_000 * ord as u64);
+            s.record_enter(ord, base);
+            s.record_exit(ord, true, base, base + SimDuration::from_nanos(10));
+            s.record_exit(
+                ord,
+                false,
+                base,
+                base + SimDuration::from_nanos(100 + ord as u64),
+            );
+            s.record_exit(ord, false, base, base + SimDuration::from_nanos(50));
+        }
+        let lat = s.latencies();
+        // warmup=1 excludes ordinal 0.
+        assert_eq!(lat.count(), 2);
+        assert!((lat.mean() - 0.1015).abs() < 1e-9, "mean {}", lat.mean());
+        // CPU stats exclude warmup: 3 ranks x 2 ordinals.
+        assert_eq!(s.bcast_cpu.count(), 6);
+        assert_eq!(s.bcast_cpu_nonroot.count(), 4);
+    }
+}

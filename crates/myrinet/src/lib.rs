@@ -1,0 +1,34 @@
+//! `myrinet` — a discrete-event model of a Myrinet-2000-like fabric.
+//!
+//! Provides the substrate under the GM protocol model: wormhole cut-through
+//! switching over a single crossbar or a two-level Clos of 16-port switches,
+//! with deterministic source routing, link contention, and fault injection.
+//!
+//! ```
+//! use gm_sim::SimTime;
+//! use myrinet::{Fabric, NodeId, Packet, PacketKind, PortId, Topology, Verdict};
+//!
+//! let mut fabric = Fabric::new(Topology::for_nodes(16), 42);
+//! let pkt = Packet {
+//!     src: NodeId(0),
+//!     dst: NodeId(5),
+//!     kind: PacketKind::Ack { port: PortId(0), seq: 0 },
+//!     payload: bytes::Bytes::new(),
+//! };
+//! match fabric.inject(SimTime::ZERO, &pkt) {
+//!     Verdict::Delivered { at, .. } => assert!(at > SimTime::ZERO),
+//!     Verdict::Dropped { .. } => unreachable!("no faults configured"),
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+mod fabric;
+mod fault;
+mod packet;
+mod topology;
+
+pub use fabric::{Fabric, NetParams, Verdict};
+pub use fault::{DropReason, DropRule, FaultPlan};
+pub use packet::{GroupId, NodeId, Packet, PacketKind, PortId, HEADER_BYTES, MTU};
+pub use topology::{LinkEnds, LinkId, SwitchId, TopoKind, Topology, SWITCH_PORTS};

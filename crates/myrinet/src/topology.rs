@@ -1,0 +1,370 @@
+//! Switch topologies: a single crossbar for small clusters and a two-level
+//! Clos (spine/leaf of 16-port crossbars) for larger ones — Myrinet-2000's
+//! default topology, per the paper ("Myrinet network uses its default
+//! hardware topology, Clos network").
+
+use crate::packet::NodeId;
+
+/// A directed link's index into the fabric's link table.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// Index into per-link arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A switch's index.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SwitchId(pub u32);
+
+/// What a directed link connects.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LinkEnds {
+    /// NIC of `node` into switch.
+    Inject(NodeId, SwitchId),
+    /// Switch to switch.
+    Inter(SwitchId, SwitchId),
+    /// Switch out to NIC of `node`.
+    Eject(SwitchId, NodeId),
+}
+
+/// The shape of the network.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TopoKind {
+    /// All nodes on one crossbar.
+    SingleCrossbar,
+    /// Two-level Clos: leaves host nodes, spines interconnect leaves.
+    Clos {
+        /// Number of leaf switches.
+        leaves: u32,
+        /// Number of spine switches.
+        spines: u32,
+        /// Hosts attached per leaf.
+        hosts_per_leaf: u32,
+    },
+}
+
+/// An immutable description of switches and directed links.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    n_nodes: u32,
+    kind: TopoKind,
+    links: Vec<LinkEnds>,
+    /// Per-node injection link (NIC -> first switch).
+    inject: Vec<LinkId>,
+    /// Per-node ejection link (last switch -> NIC).
+    eject: Vec<LinkId>,
+    /// For Clos: [leaf][spine] up-link and [spine][leaf] down-link ids.
+    up: Vec<Vec<LinkId>>,
+    down: Vec<Vec<LinkId>>,
+}
+
+/// Radix of the modelled crossbar switches (Myrinet-2000 XBar16).
+pub const SWITCH_PORTS: u32 = 16;
+
+impl Topology {
+    /// Build the default topology for `n_nodes`: a single crossbar when the
+    /// cluster fits on one switch, otherwise a two-level Clos of 16-port
+    /// crossbars (half the ports of each leaf face hosts, half face spines).
+    pub fn for_nodes(n_nodes: u32) -> Topology {
+        assert!(n_nodes >= 1, "need at least one node");
+        assert!(
+            n_nodes <= SWITCH_PORTS * SWITCH_PORTS / 2,
+            "a two-level Clos of 16-port crossbars tops out at 128 hosts;              larger systems need a third switching stage"
+        );
+        if n_nodes <= SWITCH_PORTS {
+            Self::single_crossbar(n_nodes)
+        } else {
+            let hosts_per_leaf = SWITCH_PORTS / 2;
+            let leaves = n_nodes.div_ceil(hosts_per_leaf);
+            let spines = SWITCH_PORTS / 2;
+            Self::clos(n_nodes, leaves, spines, hosts_per_leaf)
+        }
+    }
+
+    /// A single `n_nodes`-port crossbar (switch 0).
+    pub fn single_crossbar(n_nodes: u32) -> Topology {
+        assert!(
+            (1..=SWITCH_PORTS).contains(&n_nodes),
+            "single crossbar supports 1..=16 nodes, got {n_nodes}"
+        );
+        let sw = SwitchId(0);
+        let mut links = Vec::with_capacity(2 * n_nodes as usize);
+        let mut inject = Vec::with_capacity(n_nodes as usize);
+        let mut eject = Vec::with_capacity(n_nodes as usize);
+        for n in 0..n_nodes {
+            inject.push(LinkId(links.len() as u32));
+            links.push(LinkEnds::Inject(NodeId(n), sw));
+            eject.push(LinkId(links.len() as u32));
+            links.push(LinkEnds::Eject(sw, NodeId(n)));
+        }
+        Topology {
+            n_nodes,
+            kind: TopoKind::SingleCrossbar,
+            links,
+            inject,
+            eject,
+            up: vec![],
+            down: vec![],
+        }
+    }
+
+    /// An explicit two-level Clos.
+    pub fn clos(n_nodes: u32, leaves: u32, spines: u32, hosts_per_leaf: u32) -> Topology {
+        assert!(leaves >= 1 && spines >= 1 && hosts_per_leaf >= 1);
+        assert!(
+            leaves * hosts_per_leaf >= n_nodes,
+            "not enough leaf ports: {leaves} leaves x {hosts_per_leaf} < {n_nodes} nodes"
+        );
+        assert!(
+            hosts_per_leaf + spines <= SWITCH_PORTS,
+            "leaf radix exceeded"
+        );
+        assert!(leaves <= SWITCH_PORTS, "spine radix exceeded");
+        let mut links = Vec::new();
+        let mut inject = Vec::with_capacity(n_nodes as usize);
+        let mut eject = Vec::with_capacity(n_nodes as usize);
+        for n in 0..n_nodes {
+            let leaf = SwitchId(n / hosts_per_leaf);
+            inject.push(LinkId(links.len() as u32));
+            links.push(LinkEnds::Inject(NodeId(n), leaf));
+            eject.push(LinkId(links.len() as u32));
+            links.push(LinkEnds::Eject(leaf, NodeId(n)));
+        }
+        // Spine switches are numbered after the leaves.
+        let mut up = vec![Vec::with_capacity(spines as usize); leaves as usize];
+        let mut down = vec![Vec::with_capacity(leaves as usize); spines as usize];
+        for l in 0..leaves {
+            for s in 0..spines {
+                up[l as usize].push(LinkId(links.len() as u32));
+                links.push(LinkEnds::Inter(SwitchId(l), SwitchId(leaves + s)));
+            }
+        }
+        for s in 0..spines {
+            for l in 0..leaves {
+                down[s as usize].push(LinkId(links.len() as u32));
+                links.push(LinkEnds::Inter(SwitchId(leaves + s), SwitchId(l)));
+            }
+        }
+        Topology {
+            n_nodes,
+            kind: TopoKind::Clos {
+                leaves,
+                spines,
+                hosts_per_leaf,
+            },
+            links,
+            inject,
+            eject,
+            up,
+            down,
+        }
+    }
+
+    /// Number of nodes attached.
+    pub fn n_nodes(&self) -> u32 {
+        self.n_nodes
+    }
+
+    /// The topology family.
+    pub fn kind(&self) -> TopoKind {
+        self.kind
+    }
+
+    /// Total number of directed links.
+    pub fn n_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// What link `id` connects.
+    pub fn link_ends(&self, id: LinkId) -> LinkEnds {
+        self.links[id.idx()]
+    }
+
+    /// The leaf switch hosting `node` (its only switch in a crossbar).
+    pub fn leaf_of(&self, node: NodeId) -> SwitchId {
+        match self.kind {
+            TopoKind::SingleCrossbar => SwitchId(0),
+            TopoKind::Clos { hosts_per_leaf, .. } => SwitchId(node.0 / hosts_per_leaf),
+        }
+    }
+
+    /// Source route from `src` to `dst`: the ordered directed links a packet
+    /// traverses. Spine choice is static per (src, dst) pair, mirroring
+    /// Myrinet's source routing.
+    ///
+    /// `src == dst` is not routable (GM loops back locally, above the wire).
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Vec<LinkId> {
+        assert!(src != dst, "no self-route on the fabric");
+        assert!(src.0 < self.n_nodes && dst.0 < self.n_nodes, "node out of range");
+        match self.kind {
+            TopoKind::SingleCrossbar => {
+                vec![self.inject[src.idx()], self.eject[dst.idx()]]
+            }
+            TopoKind::Clos { spines, .. } => {
+                let src_leaf = self.leaf_of(src);
+                let dst_leaf = self.leaf_of(dst);
+                if src_leaf == dst_leaf {
+                    return vec![self.inject[src.idx()], self.eject[dst.idx()]];
+                }
+                // Deterministic spine selection spreads pairs across spines.
+                let spine = (src.0.wrapping_mul(31).wrapping_add(dst.0) % spines) as usize;
+                vec![
+                    self.inject[src.idx()],
+                    self.up[src_leaf.0 as usize][spine],
+                    self.down[spine][dst_leaf.0 as usize],
+                    self.eject[dst.idx()],
+                ]
+            }
+        }
+    }
+
+    /// Number of switch hops (= route length minus the final ejection wire).
+    pub fn hop_count(&self, src: NodeId, dst: NodeId) -> usize {
+        self.route(src, dst).len()
+    }
+
+    /// Render the topology as Graphviz DOT (nodes as boxes, switches as
+    /// ellipses; one undirected edge per link pair).
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("graph myrinet {\n  rankdir=BT;\n");
+        for n in 0..self.n_nodes {
+            let _ = writeln!(out, "  n{n} [shape=box];");
+        }
+        // Undirected view: emit each Inject and leaf->spine link once.
+        for &ends in &self.links {
+            match ends {
+                LinkEnds::Inject(node, sw) => {
+                    let _ = writeln!(out, "  n{} -- s{};", node.0, sw.0);
+                }
+                LinkEnds::Inter(from, to) if from.0 < to.0 => {
+                    let _ = writeln!(out, "  s{} -- s{};", from.0, to.0);
+                }
+                _ => {}
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossbar_routes_are_two_hops() {
+        let t = Topology::for_nodes(16);
+        assert_eq!(t.kind(), TopoKind::SingleCrossbar);
+        for a in 0..16 {
+            for b in 0..16 {
+                if a == b {
+                    continue;
+                }
+                let r = t.route(NodeId(a), NodeId(b));
+                assert_eq!(r.len(), 2);
+                assert_eq!(t.link_ends(r[0]), LinkEnds::Inject(NodeId(a), SwitchId(0)));
+                assert_eq!(t.link_ends(r[1]), LinkEnds::Eject(SwitchId(0), NodeId(b)));
+            }
+        }
+    }
+
+    #[test]
+    fn clos_selected_above_16() {
+        let t = Topology::for_nodes(64);
+        match t.kind() {
+            TopoKind::Clos {
+                leaves,
+                spines,
+                hosts_per_leaf,
+            } => {
+                assert_eq!(hosts_per_leaf, 8);
+                assert_eq!(leaves, 8);
+                assert_eq!(spines, 8);
+            }
+            k => panic!("expected Clos, got {k:?}"),
+        }
+    }
+
+    #[test]
+    fn clos_same_leaf_is_two_hops_cross_leaf_is_four() {
+        let t = Topology::for_nodes(64);
+        // Nodes 0 and 1 share leaf 0.
+        assert_eq!(t.route(NodeId(0), NodeId(1)).len(), 2);
+        // Nodes 0 and 63 are on different leaves.
+        let r = t.route(NodeId(0), NodeId(63));
+        assert_eq!(r.len(), 4);
+        // The path is inject, up, down, eject in order.
+        assert!(matches!(t.link_ends(r[0]), LinkEnds::Inject(NodeId(0), _)));
+        assert!(matches!(t.link_ends(r[1]), LinkEnds::Inter(_, _)));
+        assert!(matches!(t.link_ends(r[2]), LinkEnds::Inter(_, _)));
+        assert!(matches!(t.link_ends(r[3]), LinkEnds::Eject(_, NodeId(63))));
+    }
+
+    #[test]
+    fn clos_route_link_endpoints_chain() {
+        let t = Topology::for_nodes(128);
+        for (a, b) in [(0u32, 127u32), (5, 99), (17, 16), (120, 3)] {
+            let r = t.route(NodeId(a), NodeId(b));
+            // Verify each consecutive pair of links shares a switch.
+            let mut prev_to: Option<SwitchId> = None;
+            for &l in &r {
+                match t.link_ends(l) {
+                    LinkEnds::Inject(n, sw) => {
+                        assert_eq!(n, NodeId(a));
+                        assert!(prev_to.is_none());
+                        prev_to = Some(sw);
+                    }
+                    LinkEnds::Inter(from, to) => {
+                        assert_eq!(Some(from), prev_to);
+                        prev_to = Some(to);
+                    }
+                    LinkEnds::Eject(sw, n) => {
+                        assert_eq!(Some(sw), prev_to);
+                        assert_eq!(n, NodeId(b));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_is_deterministic() {
+        let t = Topology::for_nodes(64);
+        assert_eq!(t.route(NodeId(1), NodeId(60)), t.route(NodeId(1), NodeId(60)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no self-route")]
+    fn self_route_panics() {
+        Topology::for_nodes(4).route(NodeId(2), NodeId(2));
+    }
+
+    #[test]
+    fn dot_export_mentions_every_node_and_switch() {
+        let t = Topology::for_nodes(24);
+        let dot = t.to_dot();
+        for n in 0..24 {
+            assert!(dot.contains(&format!("n{n} ")), "node {n} missing");
+        }
+        // 3 leaves + 8 spines; every leaf-spine pair appears once.
+        assert_eq!(dot.matches(" -- s").count(), 24 + 3 * 8);
+        assert!(dot.starts_with("graph myrinet {"));
+    }
+
+    #[test]
+    fn odd_sizes_build() {
+        for n in [1u32, 2, 3, 15, 16, 17, 33, 100, 128] {
+            let t = Topology::for_nodes(n);
+            assert_eq!(t.n_nodes(), n);
+            if n >= 2 {
+                let _ = t.route(NodeId(0), NodeId(n - 1));
+            }
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! Measurement collectors used by the protocol layers and the bench harness.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Streaming mean / variance / min / max (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Empty collector.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Record a duration sample in microseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_micros_f64());
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample standard deviation (0 for n < 2).
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Minimum sample (0 if empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum sample (0 if empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merge another collector's samples into this one.
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * self.n as f64 * other.n as f64 / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Tracks how much of wall-clock simulated time a resource spent busy.
+///
+/// Used for host-CPU-time accounting in the skew experiments: the host "CPU"
+/// is busy while it is inside an MPI call or computing.
+#[derive(Debug, Clone, Default)]
+pub struct BusyTracker {
+    busy: SimDuration,
+    busy_since: Option<SimTime>,
+}
+
+impl BusyTracker {
+    /// New, idle tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mark the resource busy starting at `now`. No-op if already busy.
+    pub fn start(&mut self, now: SimTime) {
+        if self.busy_since.is_none() {
+            self.busy_since = Some(now);
+        }
+    }
+
+    /// Mark the resource idle at `now`, accumulating the busy span.
+    ///
+    /// Panics if not currently busy.
+    pub fn stop(&mut self, now: SimTime) {
+        let since = self.busy_since.take().expect("BusyTracker::stop while idle");
+        self.busy += now - since;
+    }
+
+    /// Whether currently marked busy.
+    pub fn is_busy(&self) -> bool {
+        self.busy_since.is_some()
+    }
+
+    /// Total accumulated busy time (excluding any open interval).
+    pub fn total(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Reset the accumulated total (keeps any open interval's start).
+    pub fn reset(&mut self) {
+        self.busy = SimDuration::ZERO;
+    }
+}
+
+/// Fixed-bucket histogram of microsecond values, for latency distributions.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bucket_width_us: f64,
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    max: f64,
+}
+
+impl Histogram {
+    /// `n_buckets` buckets of `bucket_width_us` microseconds each.
+    pub fn new(bucket_width_us: f64, n_buckets: usize) -> Self {
+        assert!(bucket_width_us > 0.0 && n_buckets > 0);
+        Histogram {
+            bucket_width_us,
+            buckets: vec![0; n_buckets],
+            overflow: 0,
+            count: 0,
+            max: 0.0,
+        }
+    }
+
+    /// Record a sample in microseconds.
+    pub fn record(&mut self, us: f64) {
+        self.count += 1;
+        self.max = self.max.max(us);
+        let idx = (us / self.bucket_width_us) as usize;
+        match self.buckets.get_mut(idx) {
+            Some(b) => *b += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Samples beyond the last bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Approximate p-th percentile (0 < p <= 100) via bucket upper bounds.
+    /// Percentiles landing in the overflow region report the exact maximum
+    /// sample instead.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p));
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return (i as f64 + 1.0) * self.bucket_width_us;
+            }
+        }
+        self.max
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Simple monotonic counter set keyed by static names (protocol counters).
+#[derive(Debug, Clone, Default)]
+pub struct Counters {
+    entries: Vec<(&'static str, u64)>,
+}
+
+impl Counters {
+    /// Empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to counter `name`, creating it at zero if absent.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        for e in &mut self.entries {
+            if e.0 == name {
+                e.1 += n;
+                return;
+            }
+        }
+        self.entries.push((name, n));
+    }
+
+    /// Increment counter `name` by one.
+    pub fn bump(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of `name` (0 if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.entries
+            .iter()
+            .find(|e| e.0 == name)
+            .map_or(0, |e| e.1)
+    }
+
+    /// Iterate over `(name, value)` pairs in creation order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.entries.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.138089935299395).abs() < 1e-9);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_empty() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_pooled() {
+        let xs: Vec<f64> = (0..50).map(|i| (i * 7 % 13) as f64).collect();
+        let mut all = OnlineStats::new();
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for (i, &x) in xs.iter().enumerate() {
+            all.record(x);
+            if i % 2 == 0 {
+                a.record(x)
+            } else {
+                b.record(x)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.stddev() - all.stddev()).abs() < 1e-9);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn busy_tracker_accumulates() {
+        let mut b = BusyTracker::new();
+        b.start(SimTime::from_nanos(10));
+        assert!(b.is_busy());
+        b.stop(SimTime::from_nanos(30));
+        b.start(SimTime::from_nanos(100));
+        b.stop(SimTime::from_nanos(105));
+        assert_eq!(b.total().as_nanos(), 25);
+        b.reset();
+        assert_eq!(b.total().as_nanos(), 0);
+    }
+
+    #[test]
+    fn busy_tracker_double_start_is_noop() {
+        let mut b = BusyTracker::new();
+        b.start(SimTime::from_nanos(10));
+        b.start(SimTime::from_nanos(20)); // ignored
+        b.stop(SimTime::from_nanos(30));
+        assert_eq!(b.total().as_nanos(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "while idle")]
+    fn busy_tracker_stop_idle_panics() {
+        let mut b = BusyTracker::new();
+        b.stop(SimTime::from_nanos(1));
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        let mut h = Histogram::new(1.0, 100);
+        for i in 0..100 {
+            h.record(i as f64 + 0.5);
+        }
+        assert_eq!(h.count(), 100);
+        assert!((h.percentile(50.0) - 50.0).abs() < 1.01);
+        assert!((h.percentile(99.0) - 99.0).abs() < 1.01);
+        h.record(1e9);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.max(), 1e9);
+        // A percentile that lands in the overflow reports the max sample.
+        assert_eq!(h.percentile(100.0), 1e9);
+    }
+
+    #[test]
+    fn counters() {
+        let mut c = Counters::new();
+        c.bump("tx");
+        c.add("tx", 4);
+        c.bump("rx");
+        assert_eq!(c.get("tx"), 5);
+        assert_eq!(c.get("rx"), 1);
+        assert_eq!(c.get("nope"), 0);
+        let all: Vec<_> = c.iter().collect();
+        assert_eq!(all, vec![("tx", 5), ("rx", 1)]);
+    }
+}

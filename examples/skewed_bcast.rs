@@ -1,0 +1,36 @@
+//! Process-skew tolerance at the MPI level (the paper's §6.3 headline).
+//!
+//! Real parallel programs are never perfectly synchronized. With the
+//! traditional host-based `MPI_Bcast`, a delayed process stalls its whole
+//! subtree, because forwarding happens in the host library. With the
+//! NIC-based broadcast the NIC forwards regardless of what the host is
+//! doing, so a delayed process hurts nobody but itself.
+//!
+//! Run with: `cargo run --release --example skewed_bcast`
+
+use myri_mcast::mpi::{execute_mpi, BcastImpl, MpiRun};
+use myri_mcast::sim::SimDuration;
+
+fn main() {
+    println!("MPI_Bcast host-CPU time under process skew (16 ranks, 4-byte payload)\n");
+    println!(
+        "{:>14}  {:>16}  {:>16}  {:>8}",
+        "avg skew (us)", "host-based (us)", "NIC-based (us)", "factor"
+    );
+    for avg_skew in [0u64, 50, 100, 200, 400] {
+        // Uniform draw on [-2a, +2a] has positive-half mean a.
+        let window = SimDuration::from_micros(avg_skew * 4);
+        let measure = |b: BcastImpl| {
+            let run = MpiRun::bcast_loop(16, 4, b, window, 5, 100);
+            execute_mpi(&run).bcast_cpu.mean()
+        };
+        let hb = measure(BcastImpl::HostBinomial);
+        let nb = measure(BcastImpl::NicBased);
+        println!("{avg_skew:>14}  {hb:>16.2}  {nb:>16.2}  {:>7.2}x", hb / nb);
+    }
+    println!(
+        "\nHost-based time grows with skew (delayed ancestors block their\n\
+         subtrees); NIC-based time stays flat — the message is already sitting\n\
+         in host memory when a late process finally calls MPI_Bcast."
+    );
+}

@@ -1,0 +1,47 @@
+//! `myri-mcast` — high-performance, reliable NIC-based multicast over a
+//! simulated Myrinet/GM-2 cluster.
+//!
+//! This is the facade crate of the workspace reproducing Yu, Buntinas &
+//! Panda, *"High Performance and Reliable NIC-Based Multicast over
+//! Myrinet/GM-2"* (ICPP 2003). It re-exports the layered stack:
+//!
+//! | layer | crate | what it models |
+//! |---|---|---|
+//! | [`sim`] | `gm-sim` | deterministic discrete-event engine |
+//! | [`net`] | `myrinet` | wormhole Clos fabric, routing, faults |
+//! | [`gm`] | `gm` | LANai NIC + host + GM protocol (Go-Back-N) |
+//! | [`mcast`] | `nic-mcast` | **the paper**: multisend, NIC forwarding, group ordering, trees |
+//! | [`mpi`] | `gm-mpi` | MPICH-GM analogue: p2p, barrier, `MPI_Bcast`, skew programs |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use myri_mcast::mcast::{execute, McastMode, McastRun, TreeShape};
+//!
+//! // One multicast of 1 KB from node 0 to 7 destinations, measured over
+//! // 10 iterations, with the paper's NIC-based scheme.
+//! let mut run = McastRun::new(8, 1024, McastMode::NicBased, TreeShape::Binomial);
+//! run.warmup = 2;
+//! run.iters = 10;
+//! let out = execute(&run);
+//! println!("multicast latency: {:.2} us", out.latency.mean());
+//! assert!(out.latency.mean() > 0.0);
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench/src/bin/` for
+//! the binaries that regenerate every figure of the paper.
+
+/// The discrete-event simulation engine.
+pub use gm_sim as sim;
+
+/// The Myrinet-2000-like fabric model.
+pub use myrinet as net;
+
+/// The GM-2-like protocol and node model.
+pub use gm;
+
+/// The paper's NIC-based multicast (core contribution).
+pub use nic_mcast as mcast;
+
+/// The MPICH-GM-analogue MPI layer.
+pub use gm_mpi as mpi;
