@@ -20,6 +20,7 @@ struct Point {
 }
 
 fn main() {
+    let sweep_started = std::time::Instant::now();
     let opts = CliOpts::parse();
     let mut points = Vec::new();
     for &n in &[8u32, 16, 24, 32, 48, 64, 96, 128] {
@@ -77,4 +78,5 @@ fn main() {
          with depth instead of saturating."
     );
     bench::write_json("ext_scalability", &results);
+    bench::perf::record("ext_scalability", sweep_started.elapsed());
 }

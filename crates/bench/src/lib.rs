@@ -8,9 +8,9 @@
 //! machine-readable JSON file under `results/`.
 
 use std::num::NonZeroUsize;
-use std::path::Path;
-use std::sync::Mutex;
+use std::path::{Path, PathBuf};
 use std::thread;
+use std::time::Duration;
 
 use serde::Serialize;
 
@@ -26,42 +26,69 @@ pub const MPI_SIZES: [usize; 15] = [
 
 /// Evaluate `f` over `items` in parallel, preserving input order.
 ///
-/// Each item runs on its own OS thread (bounded by the machine's
-/// parallelism); simulator instances are fully independent, so this is a
-/// pure speedup with identical results to a serial run.
+/// Work is distributed over channels: each worker pulls `(index, item)` pairs
+/// from a shared receiver and sends `(index, result)` back, so there is no
+/// lock-held section around the evaluation itself. Simulator instances are
+/// fully independent, so this is a pure speedup with identical results to a
+/// serial run.
 pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    par_map_timed(items, f)
+        .into_iter()
+        .map(|(r, _)| r)
+        .collect()
+}
+
+/// [`par_map`] that also captures each point's wall-clock evaluation time.
+pub fn par_map_timed<T, R, F>(items: Vec<T>, f: F) -> Vec<(R, Duration)>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     let n = items.len();
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
-    let work: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().rev().collect());
+    if n == 0 {
+        return Vec::new();
+    }
     let threads = thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(4)
-        .min(n.max(1));
+        .min(n);
+    let (work_tx, work_rx) = crossbeam::channel::unbounded::<(usize, T)>();
+    let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, R, Duration)>();
+    for pair in items.into_iter().enumerate() {
+        work_tx.send(pair).map_err(|_| "receiver alive").unwrap();
+    }
+    drop(work_tx); // workers drain to disconnect
     thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|| loop {
-                let item = work.lock().expect("work queue poisoned").pop();
-                match item {
-                    Some((i, t)) => {
-                        let r = f(&t);
-                        results.lock().expect("results poisoned")[i] = Some(r);
-                    }
-                    None => break,
+            let rx = work_rx.clone();
+            let tx = res_tx.clone();
+            let f = &f;
+            s.spawn(move || {
+                while let Ok((i, item)) = rx.recv() {
+                    let started = std::time::Instant::now();
+                    let r = f(&item);
+                    tx.send((i, r, started.elapsed()))
+                        .map_err(|_| "collector alive")
+                        .unwrap();
                 }
             });
         }
-    });
-    results
-        .into_inner()
-        .expect("results poisoned")
-        .into_iter()
-        .map(|r| r.expect("every item evaluated"))
-        .collect()
+        drop(res_tx);
+        let mut results: Vec<Option<(R, Duration)>> = (0..n).map(|_| None).collect();
+        for (i, r, wall) in res_rx.iter() {
+            results[i] = Some((r, wall));
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every item evaluated"))
+            .collect()
+    })
 }
 
 /// A printable results table.
@@ -107,7 +134,9 @@ impl Table {
         };
         out.push_str(&fmt_row(&self.header));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push_str(&"-".repeat(
+            widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1),
+        ));
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row));
@@ -132,11 +161,18 @@ pub fn factor(hb: f64, nb: f64) -> String {
     format!("{:.2}", hb / nb)
 }
 
+/// The workspace-root `results/` directory, anchored to this crate's
+/// manifest so binaries land their output in the same place regardless of
+/// the invoking working directory.
+pub fn results_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
 /// Write `rows` as pretty JSON under `results/<name>.json` (best effort; a
 /// failure only prints a warning so the table output still stands alone).
 pub fn write_json<T: Serialize>(name: &str, rows: &T) {
-    let dir = Path::new("results");
-    if let Err(e) = std::fs::create_dir_all(dir) {
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("warning: cannot create results/: {e}");
         return;
     }
@@ -150,6 +186,70 @@ pub fn write_json<T: Serialize>(name: &str, rows: &T) {
             }
         }
         Err(e) => eprintln!("warning: cannot serialize results: {e}"),
+    }
+}
+
+/// Dispatch-performance recording: each figure binary can report its
+/// process-wide engine throughput into `results/perf_baseline.json`, keyed
+/// by binary name, merging with records from other binaries. The file is the
+/// perf-regression baseline DESIGN.md §6 describes.
+pub mod perf {
+    use super::results_dir;
+
+    /// Record this process's aggregate dispatch stats under `binary` in
+    /// `results/perf_baseline.json`. `process_wall` should span the whole
+    /// sweep (capture an `Instant` at the top of `main`). Best effort: a
+    /// failure only prints a warning.
+    pub fn record(binary: &str, process_wall: std::time::Duration) {
+        let (events, dispatch_wall) = gm_sim::dispatch_stats::snapshot();
+        let queue = match gm_sim::default_queue_kind() {
+            gm_sim::QueueKind::Wheel => "wheel",
+            gm_sim::QueueKind::Heap => "heap",
+        };
+        let mut entry = serde_json::Value::Map(vec![]);
+        entry.insert("events", serde_json::Value::UInt(events));
+        entry.insert(
+            "dispatch_wall_secs",
+            serde_json::Value::Float(dispatch_wall.as_secs_f64()),
+        );
+        entry.insert(
+            "events_per_sec",
+            serde_json::Value::Float(gm_sim::dispatch_stats::events_per_sec()),
+        );
+        entry.insert(
+            "process_wall_secs",
+            serde_json::Value::Float(process_wall.as_secs_f64()),
+        );
+        entry.insert("queue", serde_json::Value::Str(queue.to_string()));
+
+        let dir = results_dir();
+        let path = dir.join("perf_baseline.json");
+        let mut doc = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|s| serde_json::from_str(&s).ok())
+            .unwrap_or(serde_json::Value::Map(vec![]));
+        if !matches!(doc, serde_json::Value::Map(_)) {
+            doc = serde_json::Value::Map(vec![]);
+        }
+        doc.insert(binary, entry);
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("warning: cannot create results/: {e}");
+            return;
+        }
+        match serde_json::to_string_pretty(&doc) {
+            Ok(s) => {
+                if let Err(e) = std::fs::write(&path, s) {
+                    eprintln!("warning: cannot write {}: {e}", path.display());
+                } else {
+                    eprintln!(
+                        "(perf: {events} events at {:.0} ev/s on {queue} queue -> {})",
+                        gm_sim::dispatch_stats::events_per_sec(),
+                        path.display()
+                    );
+                }
+            }
+            Err(e) => eprintln!("warning: cannot serialize perf record: {e}"),
+        }
     }
 }
 
@@ -221,12 +321,44 @@ mod tests {
     }
 
     #[test]
+    fn par_map_timed_captures_wall_times() {
+        let out = par_map_timed((0..20).collect(), |&x: &u64| {
+            std::thread::sleep(std::time::Duration::from_micros(100));
+            x + 1
+        });
+        assert_eq!(out.len(), 20);
+        for (i, (r, wall)) in out.iter().enumerate() {
+            assert_eq!(*r, i as u64 + 1);
+            assert!(*wall >= std::time::Duration::from_micros(100));
+        }
+    }
+
+    #[test]
+    fn par_map_runs_every_item_once() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let calls = AtomicU64::new(0);
+        let out = par_map((0..500).collect(), |&x: &u64| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 500);
+        assert_eq!(out, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn table_renders_aligned() {
         let mut t = Table::new("demo", &["a", "bbbb"]);
         t.row(vec!["1".into(), "2".into()]);
         let s = t.render();
         assert!(s.contains("== demo =="));
         assert!(s.contains("a  bbbb"));
+    }
+
+    #[test]
+    fn zero_column_table_renders_without_panicking() {
+        let t = Table::new("empty", &[]);
+        let s = t.render();
+        assert!(s.contains("== empty =="));
     }
 
     #[test]

@@ -12,13 +12,13 @@
 //!
 //! This approximates true wormhole blocking (which holds every link of the
 //! path simultaneously); for the paper's tree-ordered traffic the critical
-//! path is identical. See DESIGN.md §6.
+//! path is identical. See DESIGN.md §7.
 
 use gm_sim::{Counters, DetRng, SimDuration, SimTime};
 
 use crate::fault::{DropReason, FaultPlan};
 use crate::packet::Packet;
-use crate::topology::Topology;
+use crate::topology::{RouteTable, Topology};
 
 /// Physical-layer timing constants.
 #[derive(Clone, Copy, Debug)]
@@ -75,6 +75,9 @@ impl Verdict {
 /// The network: topology + per-link occupancy + faults + counters.
 pub struct Fabric {
     topo: Topology,
+    /// All routes interned once at construction; `inject` borrows slices from
+    /// this table instead of allocating a `Vec<LinkId>` per packet.
+    routes: RouteTable,
     params: NetParams,
     busy_until: Vec<SimTime>,
     /// Accumulated serialization time per link (for utilization reports).
@@ -93,8 +96,10 @@ impl Fabric {
     /// Full configuration.
     pub fn with_config(topo: Topology, params: NetParams, faults: FaultPlan, seed: u64) -> Fabric {
         let n_links = topo.n_links();
+        let routes = topo.route_table();
         Fabric {
             topo,
+            routes,
             params,
             busy_until: vec![SimTime::ZERO; n_links],
             busy_time: vec![SimDuration::ZERO; n_links],
@@ -107,6 +112,11 @@ impl Fabric {
     /// The topology in use.
     pub fn topology(&self) -> &Topology {
         &self.topo
+    }
+
+    /// The interned route table (precomputed at construction).
+    pub fn routes(&self) -> &RouteTable {
+        &self.routes
     }
 
     /// Timing constants in use.
@@ -160,9 +170,11 @@ impl Fabric {
     /// at the destination NIC or a drop verdict. The caller (the NIC model)
     /// must not start another transmission before `src_free`.
     pub fn inject(&mut self, now: SimTime, pkt: &Packet) -> Verdict {
-        let route = self.topo.route(pkt.src, pkt.dst);
+        // Borrowing the interned route (disjoint from the per-link state
+        // mutated below) keeps this path allocation-free.
+        let route = self.routes.route(pkt.src, pkt.dst);
         debug_assert!(!route.is_empty());
-        let ser = self.serialization(pkt);
+        let ser = SimDuration::for_bytes(pkt.wire_bytes(), self.params.link_bandwidth);
 
         // Head propagation with per-link contention.
         let mut head = now;

@@ -228,6 +228,13 @@ impl Topology {
         self.route(src, dst).len()
     }
 
+    /// Precompute every (src, dst) route into a [`RouteTable`]. Call once per
+    /// topology; the table answers `route` queries with a slice borrow
+    /// instead of a per-packet allocation.
+    pub fn route_table(&self) -> RouteTable {
+        RouteTable::new(self)
+    }
+
     /// Render the topology as Graphviz DOT (nodes as boxes, switches as
     /// ellipses; one undirected edge per link pair).
     pub fn to_dot(&self) -> String {
@@ -250,6 +257,76 @@ impl Topology {
         }
         out.push_str("}\n");
         out
+    }
+}
+
+/// All (src, dst) source routes of a [`Topology`], precomputed into one
+/// flattened CSR-style arena: `offsets[src * n + dst .. +1]` indexes a shared
+/// `links` slab. Built once per topology (O(n²) pairs, ~300 KB at n = 128);
+/// lookups are two loads and a bounds check, with no per-packet allocation —
+/// the hot-path replacement for [`Topology::route`].
+///
+/// The `src == dst` diagonal is left empty and, like `Topology::route`,
+/// panics on lookup: GM loops self-sends back locally, above the wire.
+#[derive(Clone, Debug)]
+pub struct RouteTable {
+    n_nodes: u32,
+    /// `n_nodes * n_nodes + 1` entries; route for (s, d) is
+    /// `links[offsets[s*n+d] .. offsets[s*n+d+1]]`.
+    offsets: Box<[u32]>,
+    /// Concatenated link sequences for all ordered pairs.
+    links: Box<[LinkId]>,
+}
+
+impl RouteTable {
+    /// Precompute all routes of `topo`.
+    pub fn new(topo: &Topology) -> RouteTable {
+        let n = topo.n_nodes() as usize;
+        let mut offsets = Vec::with_capacity(n * n + 1);
+        // Worst case 4 links per pair (two-level Clos).
+        let mut links = Vec::with_capacity(n * n * 4);
+        offsets.push(0u32);
+        for src in 0..n as u32 {
+            for dst in 0..n as u32 {
+                if src != dst {
+                    links.extend(topo.route(NodeId(src), NodeId(dst)));
+                }
+                links
+                    .len()
+                    .try_into()
+                    .map(|o| offsets.push(o))
+                    .expect("route arena exceeds u32 offsets");
+            }
+        }
+        RouteTable {
+            n_nodes: topo.n_nodes(),
+            offsets: offsets.into_boxed_slice(),
+            links: links.into_boxed_slice(),
+        }
+    }
+
+    /// The precomputed source route from `src` to `dst`, as a borrowed slice
+    /// of the arena. Panics on `src == dst` (mirroring [`Topology::route`])
+    /// and on out-of-range nodes.
+    #[inline]
+    pub fn route(&self, src: NodeId, dst: NodeId) -> &[LinkId] {
+        assert!(src != dst, "no self-route on the fabric");
+        assert!(
+            src.0 < self.n_nodes && dst.0 < self.n_nodes,
+            "node out of range"
+        );
+        let cell = src.0 as usize * self.n_nodes as usize + dst.0 as usize;
+        &self.links[self.offsets[cell] as usize..self.offsets[cell + 1] as usize]
+    }
+
+    /// Number of nodes covered.
+    pub fn n_nodes(&self) -> u32 {
+        self.n_nodes
+    }
+
+    /// Total links stored across all pairs (arena length).
+    pub fn arena_len(&self) -> usize {
+        self.links.len()
     }
 }
 
@@ -366,5 +443,43 @@ mod tests {
                 let _ = t.route(NodeId(0), NodeId(n - 1));
             }
         }
+    }
+
+    #[test]
+    fn route_table_matches_on_demand_routes_all_pairs() {
+        for n in [1u32, 2, 7, 16, 17, 64, 128] {
+            let t = Topology::for_nodes(n);
+            let table = t.route_table();
+            assert_eq!(table.n_nodes(), n);
+            for a in 0..n {
+                for b in 0..n {
+                    if a == b {
+                        continue;
+                    }
+                    assert_eq!(
+                        table.route(NodeId(a), NodeId(b)),
+                        t.route(NodeId(a), NodeId(b)).as_slice(),
+                        "pair ({a}, {b}) of {n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_table_arena_is_dense() {
+        let t = Topology::for_nodes(64);
+        let table = t.route_table();
+        let expect: usize = (0..64u32)
+            .flat_map(|a| (0..64u32).filter(move |&b| a != b).map(move |b| (a, b)))
+            .map(|(a, b)| t.route(NodeId(a), NodeId(b)).len())
+            .sum();
+        assert_eq!(table.arena_len(), expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "no self-route")]
+    fn route_table_self_route_panics() {
+        Topology::for_nodes(4).route_table().route(NodeId(1), NodeId(1));
     }
 }

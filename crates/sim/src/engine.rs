@@ -9,6 +9,43 @@
 use crate::queue::EventQueue;
 use crate::time::{SimDuration, SimTime};
 
+/// Process-wide dispatch totals across every [`Engine`] instance, fed by the
+/// run loops and read by benchmark harnesses to report an aggregate
+/// events-per-second figure (e.g. `results/perf_baseline.json`).
+pub mod dispatch_stats {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static EVENTS: AtomicU64 = AtomicU64::new(0);
+    static WALL_NANOS: AtomicU64 = AtomicU64::new(0);
+
+    pub(super) fn add(events: u64, wall: std::time::Duration) {
+        if events > 0 {
+            EVENTS.fetch_add(events, Ordering::Relaxed);
+            WALL_NANOS.fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Total `(events_dispatched, wall_in_run_loops)` since process start.
+    pub fn snapshot() -> (u64, std::time::Duration) {
+        (
+            EVENTS.load(Ordering::Relaxed),
+            std::time::Duration::from_nanos(WALL_NANOS.load(Ordering::Relaxed)),
+        )
+    }
+
+    /// Aggregate dispatch rate in events per wall-clock second (0.0 before
+    /// any events have run).
+    pub fn events_per_sec() -> f64 {
+        let (events, wall) = snapshot();
+        let secs = wall.as_secs_f64();
+        if secs > 0.0 {
+            events as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Handle through which event handlers schedule future events.
 pub struct Scheduler<E> {
     now: SimTime,
@@ -20,6 +57,13 @@ impl<E> Scheduler<E> {
         Scheduler {
             now: SimTime::ZERO,
             queue: EventQueue::new(),
+        }
+    }
+
+    fn with_queue_kind(kind: crate::queue::QueueKind) -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            queue: EventQueue::with_kind(kind),
         }
     }
 
@@ -80,6 +124,8 @@ pub struct Engine<W: World> {
     world: W,
     sched: Scheduler<W::Event>,
     events_handled: u64,
+    /// Wall-clock time spent inside the run loops (dispatch throughput).
+    run_wall: std::time::Duration,
 }
 
 impl<W: World> Engine<W> {
@@ -89,6 +135,18 @@ impl<W: World> Engine<W> {
             world,
             sched: Scheduler::new(),
             events_handled: 0,
+            run_wall: std::time::Duration::ZERO,
+        }
+    }
+
+    /// Like [`Engine::new`] but with an explicit queue implementation,
+    /// overriding the process default (used by differential benchmarks).
+    pub fn with_queue_kind(world: W, kind: crate::queue::QueueKind) -> Self {
+        Engine {
+            world,
+            sched: Scheduler::with_queue_kind(kind),
+            events_handled: 0,
+            run_wall: std::time::Duration::ZERO,
         }
     }
 
@@ -100,6 +158,22 @@ impl<W: World> Engine<W> {
     /// Total events dispatched so far.
     pub fn events_handled(&self) -> u64 {
         self.events_handled
+    }
+
+    /// Wall-clock time spent inside `run`/`run_while` so far.
+    pub fn run_wall(&self) -> std::time::Duration {
+        self.run_wall
+    }
+
+    /// Dispatch throughput: events handled per wall-clock second across all
+    /// run calls so far (0.0 before the first event).
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.run_wall.as_secs_f64();
+        if secs > 0.0 {
+            self.events_handled as f64 / secs
+        } else {
+            0.0
+        }
     }
 
     /// Shared access to the world.
@@ -142,15 +216,16 @@ impl<W: World> Engine<W> {
     /// Run until the queue drains, the clock passes `deadline`, or
     /// `max_events` further events have been dispatched.
     pub fn run(&mut self, deadline: SimTime, max_events: u64) -> RunOutcome {
+        let started = std::time::Instant::now();
         let mut handled = 0u64;
-        loop {
+        let outcome = loop {
             match self.sched.queue.peek_time() {
-                None => return RunOutcome::Idle,
-                Some(t) if t > deadline => return RunOutcome::TimeLimit,
+                None => break RunOutcome::Idle,
+                Some(t) if t > deadline => break RunOutcome::TimeLimit,
                 Some(_) => {}
             }
             if handled >= max_events {
-                return RunOutcome::EventLimit;
+                break RunOutcome::EventLimit;
             }
             let (time, event) = self.sched.queue.pop().expect("peeked nonempty");
             debug_assert!(time >= self.sched.now, "time went backwards");
@@ -158,23 +233,35 @@ impl<W: World> Engine<W> {
             self.world.handle(event, &mut self.sched);
             self.events_handled += 1;
             handled += 1;
-        }
+        };
+        let elapsed = started.elapsed();
+        self.run_wall += elapsed;
+        dispatch_stats::add(handled, elapsed);
+        outcome
     }
 
     /// Run while `predicate(world)` holds (checked before each event).
     pub fn run_while(&mut self, mut predicate: impl FnMut(&W) -> bool) -> RunOutcome {
-        loop {
+        let started = std::time::Instant::now();
+        let mut handled = 0u64;
+        let outcome = loop {
             if self.sched.queue.is_empty() {
-                return RunOutcome::Idle;
+                break RunOutcome::Idle;
             }
             if !predicate(&self.world) {
-                return RunOutcome::EventLimit;
+                break RunOutcome::EventLimit;
             }
             let (time, event) = self.sched.queue.pop().expect("nonempty");
+            debug_assert!(time >= self.sched.now, "time went backwards");
             self.sched.now = time;
             self.world.handle(event, &mut self.sched);
             self.events_handled += 1;
-        }
+            handled += 1;
+        };
+        let elapsed = started.elapsed();
+        self.run_wall += elapsed;
+        dispatch_stats::add(handled, elapsed);
+        outcome
     }
 }
 
@@ -274,6 +361,20 @@ mod tests {
         eng.schedule(SimTime::ZERO, Ev::Ping);
         eng.run_while(|w| w.remaining > 90);
         assert_eq!(eng.world().remaining, 90);
+    }
+
+    #[test]
+    fn throughput_counter_accumulates() {
+        let mut eng = Engine::new(PingPong {
+            remaining: 1000,
+            log: vec![],
+        });
+        assert_eq!(eng.events_per_sec(), 0.0);
+        eng.schedule(SimTime::ZERO, Ev::Ping);
+        eng.run_to_idle();
+        assert_eq!(eng.events_handled(), 2000);
+        assert!(eng.run_wall() > std::time::Duration::ZERO);
+        assert!(eng.events_per_sec() > 0.0);
     }
 
     #[test]

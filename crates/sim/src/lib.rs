@@ -42,8 +42,8 @@ mod rng;
 mod stats;
 mod time;
 
-pub use engine::{Engine, RunOutcome, Scheduler, World};
-pub use queue::EventQueue;
+pub use engine::{dispatch_stats, Engine, RunOutcome, Scheduler, World};
+pub use queue::{default_kind as default_queue_kind, EventQueue, QueueKind};
 pub use rng::{splitmix64, DetRng};
 pub use stats::{BusyTracker, Counters, Histogram, OnlineStats};
 pub use time::{SimDuration, SimTime};

@@ -3,9 +3,25 @@
 //! Events scheduled for the same instant are delivered in the order they were
 //! scheduled (FIFO), which keeps simulations deterministic without requiring
 //! the event payload type to be `Ord`.
+//!
+//! Two interchangeable implementations sit behind [`EventQueue`]:
+//!
+//! * **Wheel** (default): a hierarchical queue tuned for the simulator's
+//!   short-horizon traffic. A small sorted *active* vector holds only the
+//!   imminent events; the near future is an array of 1 µs buckets with an
+//!   occupancy bitmap; the far future overflows into a heap. Most pushes
+//!   are an O(1) bucket append instead of an O(log n) sift, pops are O(1)
+//!   front-pops, and sorting happens once per bucket drain.
+//! * **Heap**: the classic single binary heap, kept as the reference
+//!   implementation for differential tests.
+//!
+//! Both produce the exact same (time, insertion-seq) pop order, so simulated
+//! results are bit-for-bit identical; `MYRI_SIM_QUEUE=heap` switches the
+//! default for parity runs. See DESIGN.md §6.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::OnceLock;
 
 use crate::time::SimTime;
 
@@ -13,6 +29,14 @@ struct Entry<E> {
     time: SimTime,
     seq: u64,
     event: E,
+}
+
+impl<E> Entry<E> {
+    /// Chronological sort key; FIFO within an instant.
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
+    }
 }
 
 impl<E> PartialEq for Entry<E> {
@@ -35,10 +59,226 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// log2 of the bucket width: 1024 ns buckets, matching the ~0.1–16 µs grain
+/// of link serialization and hop delays.
+const BUCKET_SHIFT: u64 = 10;
+/// Number of buckets: 2048 × 1 µs ≈ 2.1 ms of near-future coverage, beyond
+/// the longest single-packet timing in the model; later events overflow to
+/// the far heap.
+const BUCKETS: usize = 2048;
+const BUCKET_WIDTH: u64 = 1 << BUCKET_SHIFT;
+const WINDOW: u64 = (BUCKETS as u64) * BUCKET_WIDTH;
+
+/// Which queue implementation a new [`EventQueue`] uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QueueKind {
+    /// Hierarchical bucketed wheel (default).
+    Wheel,
+    /// Single binary heap (reference).
+    Heap,
+}
+
+/// The implementation `EventQueue::new` selects for this process: the wheel,
+/// unless the `MYRI_SIM_QUEUE=heap` environment variable picks the reference
+/// heap (used for bit-for-bit parity runs).
+pub fn default_kind() -> QueueKind {
+    static KIND: OnceLock<QueueKind> = OnceLock::new();
+    *KIND.get_or_init(|| match std::env::var("MYRI_SIM_QUEUE").as_deref() {
+        Ok("heap") => QueueKind::Heap,
+        _ => QueueKind::Wheel,
+    })
+}
+
+/// Near-future timing wheel with a sorted-deque active tier and far-future
+/// overflow.
+///
+/// `active` is a `VecDeque` in ascending (time, seq) order: the earliest
+/// event pops from the front in O(1), an event later than everything pending
+/// appends at the back in O(1) (the hot path for causal chains), and a
+/// mid-span insert moves only the shorter side of the ring. A bucket drain
+/// is one extend plus one small sort instead of n heap sifts — the
+/// calendar-queue trick that beats a binary heap even at modest queue sizes.
+///
+/// Partition invariants (checked implicitly by the differential tests):
+///
+/// * `floor` is the time of the last popped event; the simulation never
+///   schedules below it, so every pending event has `time ≥ floor`;
+/// * `active` holds every pending event with `time < active_end`;
+/// * `buckets[i]` holds events with `base + i·W ≤ time < base + (i+1)·W`,
+///   and all bucketed events satisfy `time ≥ active_end`;
+/// * `far` holds events with `time ≥ base + WINDOW`;
+/// * `active` is refilled lazily: `ensure_active` (called by peek and pop)
+///   drains the next occupied bucket when `active` is empty. Anchoring
+///   `base` at `floor` keeps pushes out of `active` — a burst of pushes at
+///   arbitrary pending times (workload prefill) lands in the buckets at
+///   O(1) each instead of degenerating to sorted-insert churn.
+struct Wheel<E> {
+    /// Sorted ascending by (time, seq); earliest event at the front.
+    active: VecDeque<Entry<E>>,
+    /// Exclusive upper bound of the span `active` covers.
+    active_end: SimTime,
+    /// Time of the last popped event; no pending event is earlier.
+    floor: u64,
+    /// Wheel origin: bucket 0 spans `[base, base + W)` ns.
+    base: u64,
+    /// Index of the first bucket not yet drained into `active`.
+    cursor: usize,
+    buckets: Vec<Vec<Entry<E>>>,
+    /// One bit per bucket; lets `refill` skip empty buckets 64 at a time.
+    occupied: [u64; BUCKETS / 64],
+    far: BinaryHeap<Entry<E>>,
+}
+
+impl<E> Wheel<E> {
+    fn new() -> Self {
+        Wheel {
+            active: VecDeque::new(),
+            active_end: SimTime::ZERO,
+            floor: 0,
+            base: 0,
+            cursor: 0,
+            buckets: std::iter::repeat_with(Vec::new).take(BUCKETS).collect(),
+            occupied: [0; BUCKETS / 64],
+            far: BinaryHeap::new(),
+        }
+    }
+
+    /// Insert into `active`, preserving ascending (time, seq) order. Only
+    /// events inside the already-drained span (`time < active_end`, i.e.
+    /// within one bucket width of the clock) land here, so `active` stays
+    /// small and the end cases dominate.
+    fn insert_active(&mut self, entry: Entry<E>) {
+        let k = entry.key();
+        // O(1) end cases first; they dominate real schedules (an event later
+        // than everything imminent, or earlier than everything pending).
+        match self.active.back() {
+            None => return self.active.push_back(entry),
+            Some(b) if b.key() < k => return self.active.push_back(entry),
+            _ => {}
+        }
+        if self.active.front().map(Entry::key) > Some(k) {
+            return self.active.push_front(entry);
+        }
+        let pos = self.active.partition_point(|e| e.key() < k);
+        self.active.insert(pos, entry);
+    }
+
+    fn push(&mut self, entry: Entry<E>) {
+        let t = entry.time.as_nanos();
+        if entry.time < self.active_end {
+            self.insert_active(entry);
+        } else if t.wrapping_sub(self.base) < WINDOW {
+            let idx = ((t - self.base) >> BUCKET_SHIFT) as usize;
+            debug_assert!(idx >= self.cursor, "bucketed event behind the drain cursor");
+            self.buckets[idx].push(entry);
+            self.occupied[idx / 64] |= 1 << (idx % 64);
+        } else {
+            // Beyond the window — including after a long idle gap that left
+            // `base` far behind the clock; the next refill rebases.
+            self.far.push(entry);
+        }
+    }
+
+    /// Restore "`active` non-empty" when events are pending elsewhere.
+    /// `pending` is the queue's total length.
+    fn ensure_active(&mut self, pending: usize) {
+        if self.active.is_empty() && pending > 0 {
+            self.refill();
+        }
+    }
+
+    fn pop(&mut self, pending: usize) -> Option<Entry<E>> {
+        self.ensure_active(pending);
+        let entry = self.active.pop_front()?;
+        self.floor = entry.time.as_nanos();
+        Some(entry)
+    }
+
+    /// Move the next non-empty time span into `active`. Caller guarantees at
+    /// least one event is pending in the buckets or the far heap.
+    fn refill(&mut self) {
+        loop {
+            // Bitmap scan for the first occupied bucket at or after cursor.
+            let mut word_i = self.cursor / 64;
+            let mut word = match self.occupied.get(word_i) {
+                Some(&w) => w & (!0u64 << (self.cursor % 64)),
+                None => 0,
+            };
+            while word == 0 {
+                word_i += 1;
+                if word_i >= self.occupied.len() {
+                    // Wheel exhausted: re-anchor at the earliest far event
+                    // and spill the far heap's next window into the buckets.
+                    let head = self.far.peek().expect("refill on empty queue");
+                    debug_assert!(
+                        head.time.as_nanos() >= self.floor,
+                        "far event behind the simulation clock"
+                    );
+                    self.base = head.time.as_nanos();
+                    self.active_end = SimTime::from_nanos(self.base);
+                    self.cursor = 0;
+                    while let Some(head) = self.far.peek() {
+                        if head.time.as_nanos().wrapping_sub(self.base) >= WINDOW {
+                            break;
+                        }
+                        let e = self.far.pop().expect("peeked");
+                        let idx = ((e.time.as_nanos() - self.base) >> BUCKET_SHIFT) as usize;
+                        self.buckets[idx].push(e);
+                        self.occupied[idx / 64] |= 1 << (idx % 64);
+                    }
+                    word_i = 0;
+                    // Bucket 0 now holds the far head, so this is non-zero.
+                }
+                word = self.occupied[word_i];
+            }
+            let idx = word_i * 64 + word.trailing_zeros() as usize;
+            self.occupied[word_i] &= !(1 << (idx % 64));
+            self.cursor = idx + 1;
+            self.active_end =
+                SimTime::from_nanos(self.base.saturating_add(((idx as u64) + 1) << BUCKET_SHIFT));
+            if self.buckets[idx].is_empty() {
+                continue; // stale bit after clear(); keep scanning
+            }
+            // Move the whole bucket into the (empty, hence contiguous)
+            // active deque and sort it once; subsequent pops are O(1)
+            // front-pops.
+            debug_assert!(self.active.is_empty());
+            self.active.extend(self.buckets[idx].drain(..));
+            self.active.make_contiguous().sort_unstable_by_key(Entry::key);
+            return;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.active.clear();
+        self.far.clear();
+        for (i, word) in self.occupied.iter_mut().enumerate() {
+            if *word != 0 {
+                for b in 0..64 {
+                    if *word & (1 << b) != 0 {
+                        self.buckets[i * 64 + b].clear();
+                    }
+                }
+                *word = 0;
+            }
+        }
+        self.active_end = SimTime::ZERO;
+        self.floor = 0;
+        self.base = 0;
+        self.cursor = 0;
+    }
+}
+
+enum Inner<E> {
+    Wheel(Box<Wheel<E>>),
+    Heap(BinaryHeap<Entry<E>>),
+}
+
 /// A time-ordered, insertion-stable event queue.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    inner: Inner<E>,
     next_seq: u64,
+    len: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -48,11 +288,40 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// An empty queue.
+    /// An empty queue of the process-default kind (the hierarchical wheel,
+    /// unless `MYRI_SIM_QUEUE=heap` selects the reference heap).
     pub fn new() -> Self {
+        Self::with_kind(default_kind())
+    }
+
+    /// An empty queue of an explicit kind (for differential tests/benches).
+    pub fn with_kind(kind: QueueKind) -> Self {
+        let inner = match kind {
+            QueueKind::Wheel => Inner::Wheel(Box::new(Wheel::new())),
+            QueueKind::Heap => Inner::Heap(BinaryHeap::new()),
+        };
         EventQueue {
-            heap: BinaryHeap::new(),
+            inner,
             next_seq: 0,
+            len: 0,
+        }
+    }
+
+    /// An empty hierarchical-wheel queue.
+    pub fn wheel() -> Self {
+        Self::with_kind(QueueKind::Wheel)
+    }
+
+    /// An empty reference binary-heap queue.
+    pub fn heap() -> Self {
+        Self::with_kind(QueueKind::Heap)
+    }
+
+    /// Which implementation this queue uses.
+    pub fn kind(&self) -> QueueKind {
+        match self.inner {
+            Inner::Wheel(_) => QueueKind::Wheel,
+            Inner::Heap(_) => QueueKind::Heap,
         }
     }
 
@@ -60,32 +329,53 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, time: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        let entry = Entry { time, seq, event };
+        match &mut self.inner {
+            Inner::Wheel(w) => w.push(entry),
+            Inner::Heap(h) => h.push(entry),
+        }
+        self.len += 1;
     }
 
     /// Remove and return the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        let popped = match &mut self.inner {
+            Inner::Wheel(w) => w.pop(self.len),
+            Inner::Heap(h) => h.pop(),
+        }?;
+        self.len -= 1;
+        Some((popped.time, popped.event))
     }
 
-    /// The timestamp of the earliest pending event.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+    /// The timestamp of the earliest pending event. Takes `&mut self`
+    /// because the wheel refills its active tier lazily.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        match &mut self.inner {
+            Inner::Wheel(w) => {
+                w.ensure_active(self.len);
+                w.active.front().map(|e| e.time)
+            }
+            Inner::Heap(h) => h.peek().map(|e| e.time),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// Drop all pending events.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        match &mut self.inner {
+            Inner::Wheel(w) => w.clear(),
+            Inner::Heap(h) => h.clear(),
+        }
+        self.len = 0;
     }
 }
 
@@ -97,50 +387,138 @@ mod tests {
         SimTime::from_nanos(ns)
     }
 
+    fn both() -> [EventQueue<i64>; 2] {
+        [EventQueue::wheel(), EventQueue::heap()]
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(t(30), "c");
-        q.push(t(10), "a");
-        q.push(t(20), "b");
-        assert_eq!(q.pop(), Some((t(10), "a")));
-        assert_eq!(q.pop(), Some((t(20), "b")));
-        assert_eq!(q.pop(), Some((t(30), "c")));
-        assert_eq!(q.pop(), None);
+        for mut q in [
+            EventQueue::wheel(),
+            EventQueue::heap(),
+        ] {
+            q.push(t(30), "c");
+            q.push(t(10), "a");
+            q.push(t(20), "b");
+            assert_eq!(q.pop(), Some((t(10), "a")));
+            assert_eq!(q.pop(), Some((t(20), "b")));
+            assert_eq!(q.pop(), Some((t(30), "c")));
+            assert_eq!(q.pop(), None);
+        }
     }
 
     #[test]
     fn ties_are_fifo() {
-        let mut q = EventQueue::new();
-        for i in 0..100 {
-            q.push(t(5), i);
-        }
-        for i in 0..100 {
-            assert_eq!(q.pop(), Some((t(5), i)));
+        for mut q in both() {
+            for i in 0..100 {
+                q.push(t(5), i);
+            }
+            for i in 0..100 {
+                assert_eq!(q.pop(), Some((t(5), i)));
+            }
         }
     }
 
     #[test]
     fn interleaved_push_pop_keeps_order() {
-        let mut q = EventQueue::new();
-        q.push(t(10), 1);
-        q.push(t(10), 2);
-        assert_eq!(q.pop().unwrap().1, 1);
-        q.push(t(10), 3);
-        assert_eq!(q.pop().unwrap().1, 2);
-        assert_eq!(q.pop().unwrap().1, 3);
+        for mut q in both() {
+            q.push(t(10), 1);
+            q.push(t(10), 2);
+            assert_eq!(q.pop().unwrap().1, 1);
+            q.push(t(10), 3);
+            assert_eq!(q.pop().unwrap().1, 2);
+            assert_eq!(q.pop().unwrap().1, 3);
+        }
     }
 
     #[test]
     fn peek_and_len() {
-        let mut q = EventQueue::new();
-        assert!(q.is_empty());
-        assert_eq!(q.peek_time(), None);
-        q.push(t(7), ());
-        q.push(t(3), ());
-        assert_eq!(q.len(), 2);
-        assert_eq!(q.peek_time(), Some(t(3)));
-        q.clear();
-        assert!(q.is_empty());
+        for mut q in both() {
+            assert!(q.is_empty());
+            assert_eq!(q.peek_time(), None);
+            q.push(t(7), 0);
+            q.push(t(3), 0);
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.peek_time(), Some(t(3)));
+            q.clear();
+            assert!(q.is_empty());
+            // The queue is reusable after clear.
+            q.push(t(9), 1);
+            assert_eq!(q.pop(), Some((t(9), 1)));
+        }
+    }
+
+    #[test]
+    fn wheel_spans_bucket_and_far_boundaries() {
+        let mut q = EventQueue::wheel();
+        // One imminent event anchors the wheel, then events land in every
+        // tier: active, several buckets, and far overflow.
+        q.push(t(100), 0);
+        q.push(t(100 + WINDOW * 3), 5); // far future
+        q.push(t(50), 1); // earlier than the anchor: active tier
+        q.push(t(100 + BUCKET_WIDTH * 7), 3); // mid wheel
+        q.push(t(100 + BUCKET_WIDTH * 2), 2); // near wheel
+        q.push(t(100 + WINDOW * 3), 6); // same far instant: FIFO
+        q.push(t(100 + WINDOW - 1), 4); // last bucket
+        let order: Vec<i64> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![1, 0, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn wheel_rebase_after_idle_gap() {
+        let mut q = EventQueue::wheel();
+        q.push(t(1_000), 1);
+        assert_eq!(q.pop(), Some((t(1_000), 1)));
+        // Queue is empty; the next push is far beyond the previous window
+        // and must re-anchor cleanly.
+        q.push(t(WINDOW * 10), 2);
+        q.push(t(WINDOW * 10 + BUCKET_WIDTH), 3);
+        assert_eq!(q.pop(), Some((t(WINDOW * 10), 2)));
+        assert_eq!(q.pop(), Some((t(WINDOW * 10 + BUCKET_WIDTH), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn wheel_matches_heap_on_dense_random_schedule() {
+        // Deterministic xorshift; mixes same-instant ties, short and long
+        // horizons, and interleaved pops.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut wheel = EventQueue::wheel();
+        let mut heap = EventQueue::heap();
+        let mut now = 0u64;
+        for i in 0..50_000i64 {
+            let op = rnd() % 10;
+            if op < 6 {
+                let dt = match rnd() % 4 {
+                    0 => 0,                         // same instant
+                    1 => rnd() % 1_000,             // sub-bucket
+                    2 => rnd() % (WINDOW / 2),      // mid wheel
+                    _ => WINDOW + rnd() % WINDOW,   // far heap
+                };
+                wheel.push(t(now + dt), i);
+                heap.push(t(now + dt), i);
+            } else {
+                assert_eq!(wheel.peek_time(), heap.peek_time());
+                let (a, b) = (wheel.pop(), heap.pop());
+                assert_eq!(a, b);
+                if let Some((time, _)) = a {
+                    now = time.as_nanos();
+                }
+            }
+            assert_eq!(wheel.len(), heap.len());
+        }
+        loop {
+            let (a, b) = (wheel.pop(), heap.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 }

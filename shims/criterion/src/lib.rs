@@ -1,0 +1,355 @@
+//! In-tree offline shim for the subset of `criterion` this workspace uses: a
+//! wall-clock microbenchmark harness with warmup, calibrated sample sizes and
+//! median-of-samples reporting. See README "Offline builds".
+//!
+//! Results print to stdout and are merged into
+//! `results/criterion_summary.json` at the workspace root so perf-tracking
+//! scripts can diff runs. Sample budgets honour `CRITERION_SAMPLE_MS`
+//! (default 20 ms per sample) and `CRITERION_SAMPLES` (default 11).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark registry and entry point (mirror of `criterion::Criterion`).
+pub struct Criterion {
+    filter: Option<String>,
+    results: Vec<BenchResult>,
+}
+
+#[derive(Clone, Debug)]
+struct BenchResult {
+    name: String,
+    median_ns: f64,
+    min_ns: f64,
+    throughput: Option<Throughput>,
+}
+
+/// Units processed per iteration, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Logical elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup cost; accepted for API compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-run setup every iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name and a parameter display.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` invokes harness-less bench binaries with `--bench`
+        // plus any user-supplied filter string.
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') {
+                filter = Some(arg);
+            }
+        }
+        Criterion {
+            filter,
+            results: Vec::new(),
+        }
+    }
+}
+
+fn sample_ms() -> u64 {
+    std::env::var("CRITERION_SAMPLE_MS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20)
+}
+
+fn n_samples() -> usize {
+    std::env::var("CRITERION_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(11)
+}
+
+impl Criterion {
+    fn enabled(&self, name: &str) -> bool {
+        match &self.filter {
+            Some(f) => name.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    /// Run one benchmark closure.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(name.into(), None, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    fn run_one<F>(&mut self, name: String, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.enabled(&name) {
+            return;
+        }
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let mut per_iter: Vec<f64> = b.samples;
+        if per_iter.is_empty() {
+            eprintln!("warning: bench {name} recorded no samples");
+            return;
+        }
+        per_iter.sort_by(|a, x| a.partial_cmp(x).expect("finite sample"));
+        let median = per_iter[per_iter.len() / 2];
+        let min = per_iter[0];
+        let rate = throughput.map(|t| match t {
+            Throughput::Elements(n) => format!(" ({:.3} Melem/s)", n as f64 / median * 1e3),
+            Throughput::Bytes(n) => format!(" ({:.1} MiB/s)", n as f64 / median * 1e9 / (1 << 20) as f64),
+        });
+        println!(
+            "bench {name:<55} median {:>12} min {:>12}{}",
+            fmt_ns(median),
+            fmt_ns(min),
+            rate.unwrap_or_default()
+        );
+        self.results.push(BenchResult {
+            name,
+            median_ns: median,
+            min_ns: min,
+            throughput,
+        });
+    }
+
+    /// Write collected results to `results/criterion_summary.json` (merge
+    /// with any existing file) and clear the registry. Called by the
+    /// `criterion_group!` expansion; harmless to call repeatedly.
+    pub fn final_summary(&mut self) {
+        if self.results.is_empty() {
+            return;
+        }
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+        let path = std::path::Path::new(root).join("criterion_summary.json");
+        let mut doc = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|s| serde_json::from_str(&s).ok())
+            .unwrap_or(serde_json::Value::Map(vec![]));
+        if !matches!(doc, serde_json::Value::Map(_)) {
+            doc = serde_json::Value::Map(vec![]);
+        }
+        for r in self.results.drain(..) {
+            let mut entry = serde_json::Value::Map(vec![]);
+            entry.insert("median_ns", serde_json::Value::Float(r.median_ns));
+            entry.insert("min_ns", serde_json::Value::Float(r.min_ns));
+            if let Some(Throughput::Elements(n)) = r.throughput {
+                entry.insert(
+                    "melem_per_s",
+                    serde_json::Value::Float(n as f64 / r.median_ns * 1e3),
+                );
+            }
+            doc.insert(&r.name, entry);
+        }
+        if std::fs::create_dir_all(root).is_ok() {
+            if let Ok(s) = serde_json::to_string_pretty(&doc) {
+                let _ = std::fs::write(&path, s);
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Accepted for API compatibility; this shim sizes samples from
+    /// `CRITERION_SAMPLES` / `CRITERION_SAMPLE_MS` instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.full);
+        let throughput = self.throughput;
+        self.criterion.run_one(name, throughput, |b| f(b, input));
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        let throughput = self.throughput;
+        self.criterion.run_one(full, throughput, f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    /// Per-iteration nanoseconds, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly; the sample budget is calibrated from a
+    /// warmup estimate.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup + calibration: time single calls until 5 ms elapses.
+        let warm_start = Instant::now();
+        let mut one = Duration::ZERO;
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < Duration::from_millis(5) || warm_iters < 3 {
+            let t0 = Instant::now();
+            black_box(routine());
+            one += t0.elapsed();
+            warm_iters += 1;
+        }
+        let est_ns = (one.as_nanos() as f64 / warm_iters as f64).max(1.0);
+        let per_sample = ((sample_ms() as f64 * 1e6 / est_ns) as u64).clamp(1, 100_000_000);
+        for _ in 0..n_samples() {
+            let t0 = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            self.samples.push(dt.as_nanos() as f64 / per_sample as f64);
+        }
+    }
+
+    /// Measure `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Warmup + calibration.
+        let mut one = Duration::ZERO;
+        let mut warm_iters = 0u64;
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < Duration::from_millis(5) || warm_iters < 3 {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            one += t0.elapsed();
+            warm_iters += 1;
+        }
+        let est_ns = (one.as_nanos() as f64 / warm_iters as f64).max(1.0);
+        let per_sample = ((sample_ms() as f64 * 1e6 / est_ns) as u64).clamp(1, 10_000_000);
+        for _ in 0..n_samples() {
+            let mut spent = Duration::ZERO;
+            for _ in 0..per_sample {
+                let input = setup();
+                let t0 = Instant::now();
+                black_box(routine(input));
+                spent += t0.elapsed();
+            }
+            self.samples.push(spent.as_nanos() as f64 / per_sample as f64);
+        }
+    }
+}
+
+/// Declare a benchmark group function (mirror of criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declare the bench binary's `main` (mirror of criterion's macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        std::env::set_var("CRITERION_SAMPLE_MS", "1");
+        std::env::set_var("CRITERION_SAMPLES", "3");
+        let mut c = Criterion::default();
+        c.bench_function("shim_smoke", |b| b.iter(|| black_box(1u64 + 1)));
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].median_ns > 0.0);
+        c.results.clear();
+    }
+}

@@ -1,0 +1,209 @@
+//! In-tree offline shim for the subset of `crossbeam` this workspace uses:
+//! multi-producer multi-consumer channels (`crossbeam::channel`). See README
+//! "Offline builds".
+//!
+//! Implemented as a `Mutex<VecDeque>` + `Condvar`; disconnect semantics match
+//! crossbeam-channel: `recv` drains remaining messages after all senders
+//! drop, then returns `Err(RecvError)`; `send` fails once all receivers are
+//! gone.
+
+/// MPMC channels (mirror of `crossbeam::channel`).
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Chan<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// The sending half; clonable.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The receiving half; clonable (consumers compete for messages).
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Error: all receivers disconnected; returns the unsent message.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error: channel empty and all senders disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error for [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message currently queued.
+        Empty,
+        /// Channel empty and all senders disconnected.
+        Disconnected,
+    }
+
+    /// An unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender { chan: chan.clone() },
+            Receiver { chan },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Queue `msg`; fails only if every receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            if self.chan.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(msg));
+            }
+            self.chan
+                .queue
+                .lock()
+                .expect("channel poisoned")
+                .push_back(msg);
+            self.chan.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.senders.fetch_add(1, Ordering::AcqRel);
+            Sender {
+                chan: self.chan.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.chan.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender gone: wake all blocked receivers.
+                self.chan.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or every sender disconnects.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.chan.queue.lock().expect("channel poisoned");
+            loop {
+                if let Some(msg) = queue.pop_front() {
+                    return Ok(msg);
+                }
+                if self.chan.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self
+                    .chan
+                    .ready
+                    .wait(queue)
+                    .expect("channel poisoned");
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut queue = self.chan.queue.lock().expect("channel poisoned");
+            if let Some(msg) = queue.pop_front() {
+                return Ok(msg);
+            }
+            if self.chan.senders.load(Ordering::Acquire) == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Blocking iterator over messages until disconnect.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.chan.receivers.fetch_add(1, Ordering::AcqRel);
+            Receiver {
+                chan: self.chan.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.chan.receivers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::thread;
+
+    #[test]
+    fn fan_out_fan_in() {
+        let (work_tx, work_rx) = channel::unbounded::<u64>();
+        let (res_tx, res_rx) = channel::unbounded::<u64>();
+        for i in 0..100 {
+            work_tx.send(i).unwrap();
+        }
+        drop(work_tx);
+        thread::scope(|s| {
+            for _ in 0..4 {
+                let rx = work_rx.clone();
+                let tx = res_tx.clone();
+                s.spawn(move || {
+                    while let Ok(x) = rx.recv() {
+                        tx.send(x * 2).unwrap();
+                    }
+                });
+            }
+            drop(res_tx);
+            let mut got: Vec<u64> = res_rx.iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn recv_error_after_senders_gone() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(rx.recv().is_err());
+    }
+}

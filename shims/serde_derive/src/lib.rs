@@ -1,0 +1,127 @@
+//! In-tree offline shim of `serde_derive`: `#[derive(Serialize)]` for plain
+//! named-field structs, written against `proc_macro` directly (no `syn` or
+//! `quote`, which are unavailable offline). See README "Offline builds".
+//!
+//! Supported input shape: `struct Name { field: Ty, ... }` — optionally with
+//! field attributes and visibility modifiers, which are skipped. Tuple
+//! structs, enums and generics are rejected with a compile error; the
+//! workspace only derives on flat result-row structs.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (the shim trait) for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    // Find `struct <Name>` and the brace-delimited field group.
+    let mut name = None;
+    let mut fields_group = None;
+    let mut i = 0;
+    while i < tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[i] {
+            if id.to_string() == "struct" {
+                if let Some(TokenTree::Ident(n)) = tokens.get(i + 1) {
+                    name = Some(n.to_string());
+                }
+                for t in &tokens[i + 1..] {
+                    if let TokenTree::Group(g) = t {
+                        if g.delimiter() == Delimiter::Brace {
+                            fields_group = Some(g.stream());
+                            break;
+                        }
+                    }
+                }
+                break;
+            }
+        }
+        i += 1;
+    }
+
+    let (name, fields_stream) = match (name, fields_group) {
+        (Some(n), Some(f)) => (n, f),
+        _ => {
+            return "compile_error!(\"serde shim: #[derive(Serialize)] supports only \
+                    named-field structs\");"
+                .parse()
+                .expect("valid error tokens")
+        }
+    };
+
+    let fields = parse_field_names(fields_stream);
+
+    let mut entries = String::new();
+    for f in &fields {
+        entries.push_str(&format!(
+            "(String::from(\"{f}\"), ::serde::Serialize::to_json_value(&self.{f})),"
+        ));
+    }
+
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_json_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Map(vec![{entries}])\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated impl parses")
+}
+
+/// Extract field names from the body of a named-field struct: skip
+/// attributes and visibility, take the identifier before each `:`, then skip
+/// to the next top-level comma (types may contain `::` and nested generics,
+/// but commas inside `<...>`/`(...)`/`[...]` arrive as part of `Group`s or
+/// between matched punct pairs we track by depth).
+fn parse_field_names(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes: `#` followed by a bracket group.
+        while i + 1 < tokens.len() {
+            match (&tokens[i], &tokens[i + 1]) {
+                (TokenTree::Punct(p), TokenTree::Group(g))
+                    if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+                {
+                    i += 2;
+                }
+                _ => break,
+            }
+        }
+        // Skip visibility: `pub` optionally followed by `(...)`.
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // Field name.
+        let Some(TokenTree::Ident(field)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(field.to_string());
+        i += 1;
+        // Expect `:`; then consume the type up to a comma at angle-depth 0.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
