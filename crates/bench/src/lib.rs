@@ -61,7 +61,10 @@ where
     let (work_tx, work_rx) = crossbeam::channel::unbounded::<(usize, T)>();
     let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, R, Duration)>();
     for pair in items.into_iter().enumerate() {
-        work_tx.send(pair).map_err(|_| "receiver alive").unwrap();
+        work_tx
+            .send(pair)
+            .map_err(|_| ()) // SendError<T> is not Debug without T: Debug
+            .expect("work receiver is held open until the scope below drains it");
     }
     drop(work_tx); // workers drain to disconnect
     thread::scope(|s| {
@@ -74,8 +77,8 @@ where
                     let started = std::time::Instant::now();
                     let r = f(&item);
                     tx.send((i, r, started.elapsed()))
-                        .map_err(|_| "collector alive")
-                        .unwrap();
+                        .map_err(|_| ())
+                        .expect("result collector outlives every worker in this scope");
                 }
             });
         }
@@ -103,7 +106,7 @@ impl Table {
     pub fn new(title: &str, header: &[&str]) -> Self {
         Table {
             title: title.to_string(),
-            header: header.iter().map(|s| s.to_string()).collect(),
+            header: header.iter().map(ToString::to_string).collect(),
             rows: Vec::new(),
         }
     }

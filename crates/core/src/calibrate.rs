@@ -70,8 +70,8 @@ pub fn shape_for_size(
         + gp.recv_proc
         + np.wire_prop * hops as u64
         + np.hop_delay * switches)
-        .as_nanos() as f64;
-    let t_msg = p.gap.as_nanos() as f64;
+        .as_nanos_f64();
+    let t_msg = p.gap.as_nanos_f64();
     let n = n_dests + 1;
     let mut best = (f64::INFINITY, 1u32);
     for k in 1..=8u32 {

@@ -29,7 +29,7 @@ use crate::group::{
 };
 use crate::group::MultisendImpl;
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Opaque tags threaded through callbacks, DMA jobs, work items and timers.
 #[derive(Clone, Debug)]
@@ -135,7 +135,7 @@ struct SingleTx {
 pub struct McastExt {
     /// Ablation switches (paper defaults).
     pub config: McastConfig,
-    groups: HashMap<GroupId, GroupState>,
+    groups: BTreeMap<GroupId, GroupState>,
     /// Root packets waiting for a send SRAM buffer.
     sdma_pending: VecDeque<(GroupId, u64)>,
     /// Retransmissions / per-dest sends waiting for a buffer.
@@ -143,7 +143,7 @@ pub struct McastExt {
     /// Forward chains stalled on a free-pool send token (ablation).
     fwd_stalled: VecDeque<(GroupId, u64)>,
     /// Outstanding references to a held receive/send buffer per packet.
-    buf_refs: HashMap<(GroupId, u64), u8>,
+    buf_refs: BTreeMap<(GroupId, u64), u8>,
 }
 
 impl McastExt {
@@ -1006,7 +1006,7 @@ impl NicExtension for McastExt {
         match tag {
             McastTag::Replica { group, seq, idx } => self.replica_done(core, group, seq, idx),
             McastTag::FwdReplica { group, seq, idx } => {
-                self.fwd_replica_done(core, group, seq, idx)
+                self.fwd_replica_done(core, group, seq, idx);
             }
             McastTag::SingleSent {
                 group, seq, buf, ..
@@ -1030,7 +1030,7 @@ impl NicExtension for McastExt {
             McastTag::SdmaDone { group, seq } => self.start_chain(core, group, seq),
             McastTag::RdmaDone { group, seq, bytes } => self.rdma_done(core, group, seq, bytes),
             McastTag::RetxDma { group, seq, child } => {
-                self.retx_dma_done(core, group, seq, child)
+                self.retx_dma_done(core, group, seq, child);
             }
             t => unreachable!("unexpected dma completion {t:?}"),
         }
@@ -1040,7 +1040,7 @@ impl NicExtension for McastExt {
         match tag {
             McastTag::GroupTimer { group, gen } => self.on_timer(core, group, gen),
             McastTag::BarrierTimer { group, round } => {
-                self.on_barrier_timer(core, group, round)
+                self.on_barrier_timer(core, group, round);
             }
             t => unreachable!("unexpected timer {t:?}"),
         }

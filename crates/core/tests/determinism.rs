@@ -1,0 +1,60 @@
+//! Regression test for bit-for-bit run determinism.
+//!
+//! The simulator's whole measurement methodology assumes identical inputs
+//! produce identical event histories. PR 2 moved all protocol state off
+//! default-hasher maps (randomized iteration order) onto `BTreeMap`; this
+//! test pins that property by executing the same workload twice and
+//! comparing the full protocol traces event-for-event.
+
+use nic_mcast::{build_cluster, McastMode, McastRun, TreeShape};
+
+/// Run `run` to completion with tracing on and return the trace.
+fn traced_events(run: &McastRun) -> Vec<gm::TraceEvent> {
+    let (mut cluster, _shared) = build_cluster(run);
+    cluster.trace.enable();
+    let mut eng = cluster.into_engine();
+    let outcome = eng.run_to_idle();
+    assert_eq!(outcome, gm_sim::RunOutcome::Idle, "run did not converge");
+    eng.world().trace.events().to_vec()
+}
+
+fn assert_deterministic(run: &McastRun) {
+    let a = traced_events(run);
+    let b = traced_events(run);
+    assert!(!a.is_empty(), "trace should record protocol activity");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "identical runs produced different trace lengths"
+    );
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert_eq!(x, y, "traces diverge at event {i}");
+    }
+}
+
+#[test]
+fn nic_based_runs_are_bit_for_bit_identical() {
+    let mut run = McastRun::new(8, 1024, McastMode::NicBased, TreeShape::KAry(2));
+    run.warmup = 2;
+    run.iters = 3;
+    assert_deterministic(&run);
+}
+
+#[test]
+fn host_based_runs_are_bit_for_bit_identical() {
+    let mut run = McastRun::new(6, 256, McastMode::HostBased, TreeShape::Binomial);
+    run.warmup = 1;
+    run.iters = 2;
+    assert_deterministic(&run);
+}
+
+#[test]
+fn runs_with_faults_are_bit_for_bit_identical() {
+    // Fault draws come from the seeded RNG, so even lossy runs must replay
+    // exactly (Go-Back-N retransmissions included).
+    let mut run = McastRun::new(8, 2048, McastMode::NicBased, TreeShape::KAry(2));
+    run.warmup = 1;
+    run.iters = 3;
+    run.faults.drop_prob = 0.05;
+    assert_deterministic(&run);
+}

@@ -12,7 +12,7 @@
 //! * **Extension surface** — buffer/token/DMA/timer/notify primitives used
 //!   by [`NicExtension`] implementations (the multicast firmware).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use bytes::{Bytes, BytesMut};
 use gm_sim::{Counters, SimDuration, SimTime};
@@ -28,7 +28,7 @@ use crate::params::GmParams;
 /// open two connections to the same `(peer, dst_port)` from different
 /// source ports (GM's subport pairing makes the same assumption; every
 /// workload here uses symmetric `src_port == dst_port`).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ConnKey {
     /// The remote node.
     pub peer: NodeId,
@@ -286,13 +286,13 @@ pub struct NicCore<X: NicExtension> {
 
     // Tokens.
     send_tokens_free: usize,
-    tokens: HashMap<u64, SendTokenState>,
+    tokens: BTreeMap<u64, SendTokenState>,
     next_token: u64,
-    recv_tokens: HashMap<PortId, usize>,
+    recv_tokens: BTreeMap<PortId, usize>,
 
     // Protocol state.
-    send_conns: HashMap<ConnKey, SendConn>,
-    recv_conns: HashMap<ConnKey, RecvConn>,
+    send_conns: BTreeMap<ConnKey, SendConn>,
+    recv_conns: BTreeMap<ConnKey, RecvConn>,
 
     // Intents drained by the cluster.
     notices: Vec<Notice<X::Notice>>,
@@ -323,11 +323,11 @@ impl<X: NicExtension> NicCore<X> {
             tx_busy: false,
             tx: VecDeque::new(),
             sdma_rotation: VecDeque::new(),
-            tokens: HashMap::new(),
+            tokens: BTreeMap::new(),
             next_token: 0,
-            recv_tokens: HashMap::new(),
-            send_conns: HashMap::new(),
-            recv_conns: HashMap::new(),
+            recv_tokens: BTreeMap::new(),
+            send_conns: BTreeMap::new(),
+            recv_conns: BTreeMap::new(),
             notices: Vec::new(),
             timer_reqs: Vec::new(),
             ext_waiting: false,
@@ -451,6 +451,7 @@ impl<X: NicExtension> NicCore<X> {
 
     /// If the LANai is idle and work is queued, start the next item.
     /// The caller schedules completion after the returned cost.
+    // simlint::hot
     pub fn lanai_start(&mut self) -> Option<(SimDuration, Work<X>)> {
         if self.lanai_busy {
             return None;
@@ -461,12 +462,13 @@ impl<X: NicExtension> NicCore<X> {
     }
 
     /// Apply the effects of a completed work item.
+    // simlint::hot
     pub fn lanai_finish(&mut self, work: Work<X>, ext: &mut X) {
         self.lanai_busy = false;
         match work {
             Work::SendToken { token } => self.activate_token(token),
-            Work::RxData(pkt) => self.rx_data(pkt),
-            Work::RxAck(pkt) => self.rx_ack(pkt),
+            Work::RxData(pkt) => self.rx_data(&pkt),
+            Work::RxAck(pkt) => self.rx_ack(&pkt),
             Work::RxExt(pkt) => ext.packet(self, pkt),
             Work::HostReq(req) => ext.host_request(self, req),
             Work::Callback(tag) => ext.tx_callback(self, tag),
@@ -479,6 +481,7 @@ impl<X: NicExtension> NicCore<X> {
     /// If the wire is idle and a packet is queued, start transmitting it.
     /// The caller injects the packet into the fabric and schedules
     /// [`tx_drained`](Self::tx_drained) at the fabric's `src_free` time.
+    // simlint::hot
     pub fn tx_start(&mut self) -> Option<TxJob<X::Tag>> {
         if self.tx_busy {
             return None;
@@ -516,6 +519,7 @@ impl<X: NicExtension> NicCore<X> {
 
     /// If the PCI bus is idle and a DMA is queued, start it. The caller
     /// schedules [`pci_finish`](Self::pci_finish) after the returned time.
+    // simlint::hot
     pub fn pci_start(&mut self) -> Option<(SimDuration, PciJob<X>)> {
         if self.pci_busy {
             return None;
@@ -530,7 +534,7 @@ impl<X: NicExtension> NicCore<X> {
         self.pci_busy = false;
         match job {
             PciJob::Sdma { conn, seq } | PciJob::Retx { conn, seq } => {
-                self.sdma_complete(conn, seq)
+                self.sdma_complete(conn, seq);
             }
             PciJob::Rdma {
                 conn,
@@ -961,15 +965,15 @@ impl<X: NicExtension> NicCore<X> {
     }
 
     /// Received a unicast data packet (LANai cost already charged).
-    fn rx_data(&mut self, pkt: Packet) {
-        let PacketKind::Data {
+    fn rx_data(&mut self, pkt: &Packet) {
+        let &PacketKind::Data {
             port,
             src_port,
             seq,
             offset,
             msg_len,
             tag,
-        } = pkt.kind
+        } = &pkt.kind
         else {
             unreachable!("rx_data called on non-data packet");
         };
@@ -1085,8 +1089,8 @@ impl<X: NicExtension> NicCore<X> {
     }
 
     /// Received a cumulative ack for a unicast connection.
-    fn rx_ack(&mut self, pkt: Packet) {
-        let PacketKind::Ack { port, seq } = pkt.kind else {
+    fn rx_ack(&mut self, pkt: &Packet) {
+        let &PacketKind::Ack { port, seq } = &pkt.kind else {
             unreachable!("rx_ack called on non-ack packet");
         };
         // Find the send connection this ack belongs to. The ack carries the

@@ -17,7 +17,7 @@
 //!   `MPI_Recv`). Rendezvous-sized broadcasts always take the host-based
 //!   path, as in the paper.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use bytes::Bytes;
 use gm::{HostApp, HostCtx, Notice};
@@ -165,14 +165,14 @@ pub struct RankApp {
     wait: Wait,
 
     /// (src node, full tag) → queued payloads not yet matched.
-    unexpected: HashMap<(u32, u64), VecDeque<Bytes>>,
+    unexpected: BTreeMap<(u32, u64), VecDeque<Bytes>>,
     barrier_seq: u64,
     /// Per-root broadcast sequence numbers (collective ordinal per root).
-    bcast_seq: HashMap<u32, u64>,
+    bcast_seq: BTreeMap<u32, u64>,
     /// Broadcast ops completed by this rank.
     bcast_ordinal: u32,
     /// Groups this rank (as root) has installed.
-    groups_ready: HashSet<u32>,
+    groups_ready: BTreeSet<u32>,
     /// Member side: root to ack once our GroupReady notice arrives.
     pending_group_ack: Option<u32>,
     /// Outstanding tracked send completions.
@@ -204,11 +204,11 @@ impl RankApp {
             iter: 0,
             pc: 0,
             wait: Wait::None,
-            unexpected: HashMap::new(),
+            unexpected: BTreeMap::new(),
             barrier_seq: 0,
-            bcast_seq: HashMap::new(),
+            bcast_seq: BTreeMap::new(),
             bcast_ordinal: 0,
-            groups_ready: HashSet::new(),
+            groups_ready: BTreeSet::new(),
             pending_group_ack: None,
             sends_pending: 0,
             copy_pending: false,
@@ -362,6 +362,7 @@ impl RankApp {
         if draw <= 0 {
             return true;
         }
+        // simlint::allow(units, "skew draw is raw nanoseconds by construction; positive after the guard above")
         let d = SimDuration::from_nanos(draw as u64);
         if self.bcast_ordinal >= self.cfg.warmup {
             self.stats.borrow_mut().skew_applied.record_duration(d);

@@ -169,6 +169,7 @@ impl Fabric {
     /// Reserves every link on the route and returns either the delivery time
     /// at the destination NIC or a drop verdict. The caller (the NIC model)
     /// must not start another transmission before `src_free`.
+    // simlint::hot
     pub fn inject(&mut self, now: SimTime, pkt: &Packet) -> Verdict {
         // Borrowing the interned route (disjoint from the per-link state
         // mutated below) keeps this path allocation-free.

@@ -21,6 +21,7 @@ pub mod dispatch_stats {
     pub(super) fn add(events: u64, wall: std::time::Duration) {
         if events > 0 {
             EVENTS.fetch_add(events, Ordering::Relaxed);
+            // simlint::allow(units, "std::time::Duration wall-clock stat, not SimTime")
             WALL_NANOS.fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
         }
     }
@@ -216,6 +217,7 @@ impl<W: World> Engine<W> {
     /// Run until the queue drains, the clock passes `deadline`, or
     /// `max_events` further events have been dispatched.
     pub fn run(&mut self, deadline: SimTime, max_events: u64) -> RunOutcome {
+        // simlint::allow(det-walltime, "dispatch-rate measurement of the simulator itself; never feeds simulated time")
         let started = std::time::Instant::now();
         let mut handled = 0u64;
         let outcome = loop {
@@ -242,6 +244,7 @@ impl<W: World> Engine<W> {
 
     /// Run while `predicate(world)` holds (checked before each event).
     pub fn run_while(&mut self, mut predicate: impl FnMut(&W) -> bool) -> RunOutcome {
+        // simlint::allow(det-walltime, "dispatch-rate measurement of the simulator itself; never feeds simulated time")
         let started = std::time::Instant::now();
         let mut handled = 0u64;
         let outcome = loop {

@@ -163,6 +163,7 @@ impl<E> Wheel<E> {
         self.active.insert(pos, entry);
     }
 
+    // simlint::hot
     fn push(&mut self, entry: Entry<E>) {
         let t = entry.time.as_nanos();
         if entry.time < self.active_end {
@@ -187,6 +188,7 @@ impl<E> Wheel<E> {
         }
     }
 
+    // simlint::hot
     fn pop(&mut self, pending: usize) -> Option<Entry<E>> {
         self.ensure_active(pending);
         let entry = self.active.pop_front()?;
@@ -234,8 +236,10 @@ impl<E> Wheel<E> {
             let idx = word_i * 64 + word.trailing_zeros() as usize;
             self.occupied[word_i] &= !(1 << (idx % 64));
             self.cursor = idx + 1;
-            self.active_end =
-                SimTime::from_nanos(self.base.saturating_add(((idx as u64) + 1) << BUCKET_SHIFT));
+            // The wheel indexes on raw bucket-shifted nanoseconds by design;
+            // this is the one place it converts back to typed time.
+            let end_ns = self.base.saturating_add(((idx as u64) + 1) << BUCKET_SHIFT);
+            self.active_end = SimTime::from_nanos(end_ns);
             if self.buckets[idx].is_empty() {
                 continue; // stale bit after clear(); keep scanning
             }
@@ -326,6 +330,7 @@ impl<E> EventQueue<E> {
     }
 
     /// Schedule `event` to fire at `time`.
+    // simlint::hot
     pub fn push(&mut self, time: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -338,6 +343,7 @@ impl<E> EventQueue<E> {
     }
 
     /// Remove and return the earliest event.
+    // simlint::hot
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let popped = match &mut self.inner {
             Inner::Wheel(w) => w.pop(self.len),

@@ -296,9 +296,9 @@ mod tests {
         for (i, &x) in xs.iter().enumerate() {
             all.record(x);
             if i % 2 == 0 {
-                a.record(x)
+                a.record(x);
             } else {
-                b.record(x)
+                b.record(x);
             }
         }
         a.merge(&b);

@@ -97,6 +97,12 @@ impl SimDuration {
         self.0 as f64 / 1_000.0
     }
 
+    /// Nanoseconds as a float, for analytic models that solve over durations.
+    #[inline]
+    pub fn as_nanos_f64(self) -> f64 {
+        self.0 as f64
+    }
+
     /// The time to move `bytes` bytes at `bytes_per_sec`, rounded up to 1 ns.
     ///
     /// Zero-byte transfers take zero time.

@@ -1,0 +1,439 @@
+//! A minimal Rust lexer: just enough structure to drive lexical lint rules.
+//!
+//! The goal is *not* a faithful Rust grammar — it is to split source into
+//! identifiers, punctuation, literals, and comments with accurate line
+//! numbers, so rules can match token sequences (`Instant :: now`,
+//! `. unwrap (`) without ever firing inside a string literal or a comment.
+//! The tricky cases that matter for that guarantee are all handled: nested
+//! block comments, raw strings (`r#"..."#`), byte strings, raw identifiers,
+//! and the char-literal/lifetime ambiguity after `'`.
+
+/// What kind of lexeme a [`Tok`] is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `as`, `HashMap`, `r#type`).
+    Ident,
+    /// Numeric literal (suffixes included, exponent split is tolerated).
+    Number,
+    /// String literal of any flavour; `text` holds the *inner* contents.
+    Str,
+    /// Char or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime or loop label (`'a`, `'static`).
+    Lifetime,
+    /// A single punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+}
+
+/// One code token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Lexeme class.
+    pub kind: TokKind,
+    /// Lexeme text (inner contents for strings, the char for punctuation).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// One comment (line or block) with the line it starts on. Doc comments are
+/// ordinary comments here.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment body without the `//` / `/* */` markers.
+    pub text: String,
+}
+
+/// The result of lexing one file: code tokens and comments, separated.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order (comments excluded).
+    pub tokens: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize `src`. Never fails: unterminated constructs run to end of file.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && b[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: b[start..j].iter().collect(),
+            });
+            i = j;
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start_line = line;
+            let start = i + 2;
+            let mut depth = 1usize;
+            let mut j = start;
+            while j < n && depth > 0 {
+                if b[j] == '/' && j + 1 < n && b[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == '*' && j + 1 < n && b[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    if b[j] == '\n' {
+                        line += 1;
+                    }
+                    j += 1;
+                }
+            }
+            let end = j.saturating_sub(2).max(start);
+            out.comments.push(Comment {
+                line: start_line,
+                text: b[start..end].iter().collect(),
+            });
+            i = j;
+            continue;
+        }
+        // Raw strings / byte strings / raw identifiers.
+        if c == 'r' || c == 'b' {
+            // br"..." / br#"..."# / rb is not valid Rust, so only br.
+            let (prefix_len, rest) = if c == 'b' && i + 1 < n && b[i + 1] == 'r' {
+                (2, i + 2)
+            } else if c == 'r' || c == 'b' {
+                (1, i + 1)
+            } else {
+                (0, i)
+            };
+            // Count hashes after the prefix.
+            let mut h = rest;
+            while h < n && b[h] == '#' {
+                h += 1;
+            }
+            let hashes = h - rest;
+            let raw_marker = c == 'r' || (c == 'b' && prefix_len == 2);
+            if raw_marker && h < n && b[h] == '"' {
+                // Raw (byte) string: scan for `"` followed by `hashes` '#'.
+                let start_line = line;
+                let body_start = h + 1;
+                let mut j = body_start;
+                let end = loop {
+                    if j >= n {
+                        break n;
+                    }
+                    if b[j] == '"'
+                        && j + 1 + hashes <= n
+                        && b[j + 1..j + 1 + hashes].iter().all(|&x| x == '#')
+                    {
+                        break j;
+                    }
+                    if b[j] == '\n' {
+                        line += 1;
+                    }
+                    j += 1;
+                };
+                out.tokens.push(Tok {
+                    kind: TokKind::Str,
+                    text: b[body_start..end.min(n)].iter().collect(),
+                    line: start_line,
+                });
+                i = (end + 1 + hashes).min(n);
+                continue;
+            }
+            if c == 'r' && hashes > 0 && h < n && is_ident_start(b[h]) {
+                // Raw identifier r#type.
+                let mut j = h;
+                while j < n && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident,
+                    text: b[h..j].iter().collect(),
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            if c == 'b' && i + 1 < n && b[i + 1] == '"' {
+                // Byte string: fall through to quoted-string scanning below
+                // by synthesizing the scan from the quote.
+                let (tok, next, lines) = scan_quoted(&b, i + 1, line);
+                line += lines;
+                out.tokens.push(tok);
+                i = next;
+                continue;
+            }
+            if c == 'b' && i + 1 < n && b[i + 1] == '\'' {
+                // Byte char literal b'x'.
+                let (next, lines) = scan_char(&b, i + 1);
+                out.tokens.push(Tok {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line,
+                });
+                line += lines;
+                i = next;
+                continue;
+            }
+            // Plain identifier starting with r/b.
+        }
+        // String literal.
+        if c == '"' {
+            let (tok, next, lines) = scan_quoted(&b, i, line);
+            out.tokens.push(tok);
+            line += lines;
+            i = next;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let one = i + 1;
+            let two = i + 2;
+            let is_char = one < n
+                && (b[one] == '\\'
+                    || (two < n && b[two] == '\'' && b[one] != '\'')
+                    || !is_ident_start(b[one]));
+            if is_char {
+                let (next, lines) = scan_char(&b, i);
+                out.tokens.push(Tok {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line,
+                });
+                line += lines;
+                i = next;
+                continue;
+            }
+            // Lifetime / label.
+            let mut j = one;
+            while j < n && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Lifetime,
+                text: b[one..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit() {
+            let mut j = i;
+            let mut seen_dot = false;
+            while j < n {
+                let d = b[j];
+                if d.is_ascii_alphanumeric() || d == '_' {
+                    j += 1;
+                } else if d == '.'
+                    && !seen_dot
+                    && j + 1 < n
+                    && b[j + 1].is_ascii_digit()
+                {
+                    seen_dot = true;
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Number,
+                text: b[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let mut j = i;
+            while j < n && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Ident,
+                text: b[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Single punctuation char.
+        out.tokens.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Scan a `"..."` literal starting at the opening quote. Returns the token,
+/// the index just past the closing quote, and the number of newlines inside.
+fn scan_quoted(b: &[char], quote: usize, line: u32) -> (Tok, usize, u32) {
+    let n = b.len();
+    let mut j = quote + 1;
+    let mut lines = 0u32;
+    let mut text = String::new();
+    while j < n {
+        match b[j] {
+            '\\' if j + 1 < n => {
+                text.push(b[j]);
+                text.push(b[j + 1]);
+                if b[j + 1] == '\n' {
+                    lines += 1;
+                }
+                j += 2;
+            }
+            '"' => {
+                j += 1;
+                break;
+            }
+            ch => {
+                if ch == '\n' {
+                    lines += 1;
+                }
+                text.push(ch);
+                j += 1;
+            }
+        }
+    }
+    (
+        Tok {
+            kind: TokKind::Str,
+            text,
+            line,
+        },
+        j,
+        lines,
+    )
+}
+
+/// Scan a `'x'` / `'\n'` literal starting at the opening quote. Returns the
+/// index just past the closing quote and the newline count (escapes only).
+fn scan_char(b: &[char], quote: usize) -> (usize, u32) {
+    let n = b.len();
+    let mut j = quote + 1;
+    let lines = 0u32;
+    if j < n && b[j] == '\\' {
+        j += 2;
+    } else if j < n {
+        j += 1;
+    }
+    if j < n && b[j] == '\'' {
+        j += 1;
+    }
+    (j, lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts_split() {
+        let l = lex("let x: HashMap<u64, Foo> = HashMap::new();");
+        let ids = idents("let x: HashMap<u64, Foo> = HashMap::new();");
+        assert_eq!(ids, vec!["let", "x", "HashMap", "u64", "Foo", "HashMap", "new"]);
+        assert!(l.tokens.iter().any(|t| t.kind == TokKind::Punct && t.text == "<"));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        assert!(idents("let s = \"HashMap::new()\";").iter().all(|i| i != "HashMap"));
+        assert!(idents("let s = r#\"Instant::now()\"#;").iter().all(|i| i != "Instant"));
+        assert!(idents("let s = b\"unwrap()\";").iter().all(|i| i != "unwrap"));
+    }
+
+    #[test]
+    fn comments_are_separated_and_hide_code() {
+        let l = lex("// HashMap here\nlet x = 1; /* Instant::now */\n");
+        assert!(l.tokens.iter().all(|t| t.text != "HashMap" && t.text != "Instant"));
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 1);
+        assert!(l.comments[0].text.contains("HashMap"));
+        assert_eq!(l.comments[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comment_terminates() {
+        let l = lex("/* a /* b */ c */ fn f() {}\n");
+        assert_eq!(idents("/* a /* b */ c */ fn f() {}\n"), vec!["fn", "f"]);
+        assert_eq!(l.comments.len(), 1);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let l = lex("let c = 'a'; fn f<'a>(x: &'a str) { loop { break 'a; } }");
+        let chars = l.tokens.iter().filter(|t| t.kind == TokKind::Char).count();
+        let lifetimes = l.tokens.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        assert_eq!(chars, 1);
+        assert!(lifetimes >= 2);
+    }
+
+    #[test]
+    fn escaped_quote_in_char() {
+        let ids = idents(r"let c = '\''; let d = unwrap;");
+        assert_eq!(ids, vec!["let", "c", "let", "d", "unwrap"]);
+    }
+
+    #[test]
+    fn line_numbers_track_strings_and_comments() {
+        let src = "let a = \"x\ny\";\n/* c\nc */\nlet b = 2;\n";
+        let l = lex(src);
+        let b_tok = l.tokens.iter().find(|t| t.text == "b").expect("b token present");
+        assert_eq!(b_tok.line, 5);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let l = lex("for i in 0..10 { let f = 1.5; }");
+        let dots = l.tokens.iter().filter(|t| t.kind == TokKind::Punct && t.text == ".").count();
+        assert_eq!(dots, 2, "range dots survive");
+        assert!(l.tokens.iter().any(|t| t.kind == TokKind::Number && t.text == "1.5"));
+    }
+
+    #[test]
+    fn raw_identifier() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+}

@@ -1,0 +1,117 @@
+//! `simlint` CLI — the blocking lint gate run by `scripts/ci.sh`.
+//!
+//! Usage:
+//!   cargo run -p simlint -- --workspace            # scan the whole tree
+//!   cargo run -p simlint -- --workspace --json P   # also write report to P
+//!   cargo run -p simlint -- FILE...                # scan specific files
+//!                                                  #   (strict classification)
+//!
+//! Exit code 0 when clean, 1 when any violation fires, 2 on usage error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use simlint::{
+    classify, lint_source, render_diagnostic, report::to_json, rules::RULES, workspace_root,
+    FileClass, Report,
+};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: simlint --workspace [--root DIR] [--json PATH] | simlint FILE...");
+    eprintln!("rules:");
+    for r in RULES {
+        eprintln!("  {:14} {}", r.name, r.summary);
+    }
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workspace = false;
+    let mut root: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--help" | "-h" => return usage(),
+            f if !f.starts_with('-') => files.push(PathBuf::from(f)),
+            _ => return usage(),
+        }
+    }
+    // Exactly one mode must be selected: --workspace, or explicit files.
+    if workspace != files.is_empty() {
+        return usage();
+    }
+
+    let report = if workspace {
+        let root = root.unwrap_or_else(workspace_root);
+        let report = simlint::lint_workspace(&root);
+        let json = json_path.unwrap_or_else(|| root.join("results/simlint_report.json"));
+        if let Some(dir) = json.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(&json, to_json(&report)) {
+            eprintln!("simlint: cannot write {}: {e}", json.display());
+        }
+        report
+    } else {
+        lint_files(&files)
+    };
+
+    for d in &report.diagnostics {
+        eprint!("{}", render_diagnostic(d));
+    }
+    if report.clean() {
+        eprintln!(
+            "simlint: {} file(s) clean, {} justified suppression(s)",
+            report.files_scanned,
+            report.suppressions.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "simlint: {} violation(s) in {} file(s) scanned",
+            report.diagnostics.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Lint explicitly-listed files. Paths inside the workspace get their normal
+/// classification; anything else is linted strictly (every rule on).
+fn lint_files(files: &[PathBuf]) -> Report {
+    let root = workspace_root();
+    let root = root.canonicalize().unwrap_or(root);
+    let mut report = Report::default();
+    for f in files {
+        let canon = f.canonicalize().unwrap_or_else(|_| f.clone());
+        let rel = canon
+            .strip_prefix(&root)
+            .map(Path::to_path_buf)
+            .unwrap_or_else(|_| f.clone());
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        let class = classify(&rel_str).unwrap_or_else(FileClass::strict);
+        match std::fs::read_to_string(f) {
+            Ok(src) => {
+                report.files_scanned += 1;
+                let mut fl = lint_source(&rel_str, &src, &class);
+                report.diagnostics.append(&mut fl.diagnostics);
+                report.suppressions.append(&mut fl.suppressions);
+            }
+            Err(e) => eprintln!("simlint: cannot read {}: {e}", f.display()),
+        }
+    }
+    report
+}

@@ -1,0 +1,104 @@
+//! Machine-readable report output (`results/simlint_report.json`).
+//!
+//! Hand-rolled JSON writer so the linter stays dependency-free; the schema
+//! is flat and the escaping is the standard six + control codes.
+
+use crate::Report;
+
+/// Escape a string for inclusion in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialize a [`Report`] as pretty-printed JSON.
+pub fn to_json(report: &Report) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    s.push_str(&format!(
+        "  \"violations\": {},\n",
+        report.diagnostics.len()
+    ));
+    s.push_str("  \"diagnostics\": [\n");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\", \"snippet\": \"{}\"}}{}\n",
+            esc(d.rule),
+            esc(&d.file),
+            d.line,
+            esc(&d.message),
+            esc(&d.snippet),
+            if i + 1 == report.diagnostics.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"suppressions\": [\n");
+    for (i, a) in report.suppressions.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"reason\": \"{}\"}}{}\n",
+            esc(&a.rule),
+            esc(&a.file),
+            a.line,
+            esc(&a.reason),
+            if i + 1 == report.suppressions.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Diagnostic, SuppressionRec};
+
+    #[test]
+    fn escapes_and_structure() {
+        let mut r = Report {
+            files_scanned: 2,
+            ..Report::default()
+        };
+        r.diagnostics.push(Diagnostic {
+            rule: "det-hash",
+            file: "a.rs".to_string(),
+            line: 3,
+            message: "has \"quotes\"".to_string(),
+            snippet: "let m: HashMap<u8, u8>;".to_string(),
+        });
+        r.suppressions.push(SuppressionRec {
+            rule: "units".to_string(),
+            file: "b.rs".to_string(),
+            line: 9,
+            reason: "raw ns\tby design".to_string(),
+        });
+        let j = to_json(&r);
+        assert!(j.contains("\"files_scanned\": 2"));
+        assert!(j.contains("\\\"quotes\\\""));
+        assert!(j.contains("raw ns\\tby design"));
+        // Trailing-comma-free and balanced.
+        assert!(!j.contains(",\n  ]"));
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "balanced braces"
+        );
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let j = to_json(&Report::default());
+        assert!(j.contains("\"diagnostics\": [\n  ]"));
+    }
+}

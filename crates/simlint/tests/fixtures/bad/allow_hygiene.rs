@@ -1,0 +1,10 @@
+// BAD: three broken suppressions — bare (no reason), unknown rule, and
+// unused (suppresses nothing).
+// simlint::allow(det-hash)
+use std::collections::HashMap;
+
+// simlint::allow(no-such-rule, "typo in the rule name")
+pub type Table = HashMap<u32, u64>;
+
+// simlint::allow(det-walltime, "stale: the Instant call below was removed")
+pub fn nothing_here() {}

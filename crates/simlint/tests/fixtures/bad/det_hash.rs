@@ -1,0 +1,8 @@
+// BAD: protocol state in a default-hasher map — iteration order is
+// randomized per process, so replays diverge.
+use std::collections::{HashMap, HashSet};
+
+pub struct ConnTable {
+    conns: HashMap<u32, u64>,
+    ready: HashSet<u32>,
+}

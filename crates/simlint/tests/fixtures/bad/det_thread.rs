@@ -1,0 +1,8 @@
+// BAD: an ad-hoc thread makes event interleaving scheduler-dependent.
+use std::thread;
+
+pub fn fan_out() {
+    thread::spawn(|| {
+        // mutate shared sim state off-thread
+    });
+}

@@ -1,0 +1,8 @@
+// BAD: wall-clock reads inside simulator code make behaviour depend on
+// host speed.
+pub fn stamp() -> u128 {
+    let t = std::time::Instant::now();
+    let s = std::time::SystemTime::now();
+    let _ = s;
+    t.elapsed().as_nanos()
+}

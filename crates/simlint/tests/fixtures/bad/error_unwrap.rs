@@ -1,0 +1,6 @@
+// BAD: anonymous panics in simulator code hide which invariant broke.
+pub fn take(q: &mut Vec<u64>, msg: &str) -> u64 {
+    let first = q.pop().unwrap();
+    let second = q.pop().expect(msg);
+    first + second
+}

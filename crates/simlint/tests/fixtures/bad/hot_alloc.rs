@@ -1,0 +1,9 @@
+// BAD: a declared hot path that allocates on every call.
+// simlint::hot
+pub fn dispatch(tags: &[u64]) -> Vec<String> {
+    let mut out = Vec::new();
+    for t in tags {
+        out.push(format!("tag {t}"));
+    }
+    out.clone()
+}

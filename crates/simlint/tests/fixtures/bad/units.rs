@@ -1,0 +1,6 @@
+// BAD: raw casts strip the nanosecond unit and mix typed time with
+// untyped integers.
+pub fn skew(t: SimTime, raw: i64) -> SimTime {
+    let ns = t.as_nanos() as f64 * 1.5;
+    SimTime::from_nanos(ns as u64 + raw as u64)
+}

@@ -1,0 +1,4 @@
+// GOOD: a well-formed suppression — known rule, real reason, and it
+// actually fires on the next line.
+// simlint::allow(det-hash, "perf counter keyed by interned id; iteration order never observed")
+pub type Counters = std::collections::HashMap<u32, u64>;

@@ -1,0 +1,7 @@
+// GOOD: ordered maps iterate identically on every run.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct ConnTable {
+    conns: BTreeMap<u32, u64>,
+    ready: BTreeSet<u32>,
+}

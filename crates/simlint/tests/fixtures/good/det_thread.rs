@@ -1,0 +1,13 @@
+// GOOD: scoped fan-out over *independent* simulations is the bench
+// harness's job; simulator code stays single-threaded.
+use std::thread;
+
+pub fn fan_out_independent(seeds: &[u64]) {
+    thread::scope(|s| {
+        for &seed in seeds {
+            s.spawn(move || run_one(seed));
+        }
+    });
+}
+
+fn run_one(_seed: u64) {}

@@ -1,0 +1,7 @@
+// GOOD: a justified suppression for a genuine measurement of the
+// simulator itself (not of simulated time).
+pub fn dispatch_rate_probe() -> std::time::Duration {
+    // simlint::allow(det-walltime, "measures the simulator's own dispatch rate; never feeds SimTime")
+    let t = std::time::Instant::now();
+    t.elapsed()
+}

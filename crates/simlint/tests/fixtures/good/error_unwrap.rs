@@ -1,0 +1,14 @@
+// GOOD: every panic names the invariant that makes it unreachable, and
+// test code may unwrap freely.
+pub fn take(q: &mut Vec<u64>) -> u64 {
+    q.pop().expect("queue nonempty: caller checked is_empty above")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_here() {
+        let x: Option<u64> = Some(3);
+        assert_eq!(x.unwrap(), 3);
+    }
+}

@@ -1,0 +1,12 @@
+// GOOD: the hot path reuses a caller-provided buffer; the cold setup path
+// below may allocate freely.
+// simlint::hot
+pub fn dispatch(tags: &[u64], out: &mut [u64]) -> usize {
+    let n = tags.len().min(out.len());
+    out[..n].copy_from_slice(&tags[..n]);
+    n
+}
+
+pub fn setup(capacity: usize) -> Vec<u64> {
+    Vec::with_capacity(capacity)
+}

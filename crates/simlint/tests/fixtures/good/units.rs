@@ -1,0 +1,9 @@
+// GOOD: arithmetic stays in typed time; float reporting goes through the
+// dedicated accessors.
+pub fn report(d: SimDuration) -> f64 {
+    d.as_micros_f64()
+}
+
+pub fn extend(t: SimTime, d: SimDuration) -> SimTime {
+    t + d + SimDuration::from_micros(2)
+}

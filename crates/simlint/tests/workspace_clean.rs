@@ -1,0 +1,45 @@
+//! The workspace itself must pass its own lint gate: zero violations, and
+//! every suppression justified. This is the same scan `scripts/ci.sh` runs
+//! (via the CLI), expressed as a test so `cargo test` alone catches
+//! regressions.
+
+use simlint::{lint_workspace, workspace_root};
+
+#[test]
+fn workspace_scan_is_clean() {
+    let report = lint_workspace(&workspace_root());
+    assert!(
+        report.files_scanned > 30,
+        "scan looks truncated: only {} files",
+        report.files_scanned
+    );
+    let rendered: String = report
+        .diagnostics
+        .iter()
+        .map(simlint::render_diagnostic)
+        .collect();
+    assert!(
+        report.clean(),
+        "workspace has {} lint violation(s):\n{rendered}",
+        report.diagnostics.len()
+    );
+    // Every recorded suppression carries a reason by construction; make sure
+    // the tree hasn't accumulated a silent pile of them either.
+    for s in &report.suppressions {
+        assert!(
+            !s.reason.is_empty(),
+            "suppression without reason at {}:{}",
+            s.file,
+            s.line
+        );
+    }
+}
+
+#[test]
+fn json_report_is_well_formed() {
+    let report = lint_workspace(&workspace_root());
+    let json = simlint::report::to_json(&report);
+    assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+    assert!(json.contains("\"files_scanned\""));
+    assert!(json.contains("\"suppressions\""));
+}

@@ -33,4 +33,9 @@ run test -q --workspace "${CARGO_FLAGS[@]}"
 # Lints: the tree stays warning-free.
 run clippy --workspace --all-targets "${CARGO_FLAGS[@]}" -- -D warnings
 
+# Blocking determinism/unit-safety gate (see DESIGN.md "Static invariants").
+# Writes the machine-readable report to results/simlint_report.json.
+run run -q -p simlint "${CARGO_FLAGS[@]}" -- --workspace
+echo "ci: simlint report at results/simlint_report.json"
+
 echo "ci: all green"

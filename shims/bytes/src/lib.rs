@@ -151,7 +151,7 @@ impl Borrow<[u8]> for Bytes {
 
 impl Hash for Bytes {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.as_slice().hash(state)
+        self.as_slice().hash(state);
     }
 }
 
