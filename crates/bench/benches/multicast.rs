@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gm_mpi::{execute_mpi, BcastImpl, MpiRun};
 use gm_sim::SimDuration;
-use nic_mcast::{execute, McastMode, McastRun, TreeShape};
+use nic_mcast::{Scenario, TreeShape};
 
 fn bench_gm_multicast(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim_runtime");
@@ -15,11 +15,12 @@ fn bench_gm_multicast(c: &mut Criterion) {
             &(nodes, size),
             |b, &(nodes, size)| {
                 b.iter(|| {
-                    let mut run =
-                        McastRun::new(nodes, size, McastMode::NicBased, TreeShape::Binomial);
-                    run.warmup = 2;
-                    run.iters = 20;
-                    execute(&run)
+                    Scenario::nic_based(nodes)
+                        .size(size)
+                        .tree(TreeShape::Binomial)
+                        .warmup(2)
+                        .iters(20)
+                        .run()
                 });
             },
         );

@@ -8,8 +8,7 @@
 //! the workload).
 
 use bench::{par_map, us, CliOpts, Table};
-use myrinet::FaultPlan;
-use nic_mcast::{execute, McastMode, McastRun, TreeShape};
+use nic_mcast::{Scenario, TreeShape};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -26,16 +25,18 @@ fn main() {
     let opts = CliOpts::parse();
     let rates = [0.0f64, 0.001, 0.005, 0.01, 0.02, 0.05];
     let results: Vec<Point> = par_map(rates.to_vec(), |&rate| {
-        let m = |mode: McastMode, shape: TreeShape| {
-            let mut run = McastRun::new(16, 2048, mode, shape);
-            run.warmup = opts.warmup;
-            run.iters = opts.iters;
-            run.faults = FaultPlan::with_loss(rate);
-            let out = execute(&run);
+        let m = |s: Scenario| {
+            let out = s
+                .size(2048)
+                .tree(TreeShape::Binomial)
+                .warmup(opts.warmup)
+                .iters(opts.iters)
+                .loss(rate)
+                .run();
             (out.latency.mean(), out.latency_p99, out.retransmissions)
         };
-        let (nb_us, nb_p99, nb_retx) = m(McastMode::NicBased, TreeShape::Binomial);
-        let (hb_us, _, hb_retx) = m(McastMode::HostBased, TreeShape::Binomial);
+        let (nb_us, nb_p99, nb_retx) = m(Scenario::nic_based(16));
+        let (hb_us, _, hb_retx) = m(Scenario::host_based(16));
         Point {
             loss_pct: rate * 100.0,
             nb_us,

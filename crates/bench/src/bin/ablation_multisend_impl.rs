@@ -9,9 +9,7 @@
 //! dominates.
 
 use bench::{factor, par_map, us, CliOpts, Table};
-use nic_mcast::{
-    execute, AckMode, McastConfig, McastMode, McastRun, MultisendImpl, TreeShape,
-};
+use nic_mcast::{AckMode, McastConfig, MultisendImpl, Scenario, TreeShape};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -32,23 +30,26 @@ fn main() {
         }
     }
     let results: Vec<Point> = par_map(points, |&(k, size)| {
-        let m = |mode: McastMode, ms: MultisendImpl| {
-            let mut run = McastRun::new(k + 1, size, mode, TreeShape::Flat);
-            run.ack = AckMode::NicAck;
-            run.warmup = opts.warmup;
-            run.iters = opts.iters;
-            run.config = McastConfig {
-                multisend: ms,
-                ..McastConfig::default()
-            };
-            execute(&run).latency.mean()
+        let m = |s: Scenario, ms: MultisendImpl| {
+            s.size(size)
+                .tree(TreeShape::Flat)
+                .ack(AckMode::NicAck)
+                .warmup(opts.warmup)
+                .iters(opts.iters)
+                .config(McastConfig {
+                    multisend: ms,
+                    ..McastConfig::default()
+                })
+                .run()
+                .latency
+                .mean()
         };
         Point {
             dests: k,
             size,
-            host_based_us: m(McastMode::HostBased, MultisendImpl::Callback),
-            per_dest_token_us: m(McastMode::NicBased, MultisendImpl::PerDestToken),
-            callback_us: m(McastMode::NicBased, MultisendImpl::Callback),
+            host_based_us: m(Scenario::host_based(k + 1), MultisendImpl::Callback),
+            per_dest_token_us: m(Scenario::nic_based(k + 1), MultisendImpl::PerDestToken),
+            callback_us: m(Scenario::nic_based(k + 1), MultisendImpl::Callback),
         }
     });
 

@@ -12,7 +12,8 @@
 //! does not.
 
 use bench::{par_map, us, CliOpts, Table};
-use nic_mcast::{build_cluster, McastConfig, McastMode, McastRun, RetxBufferPolicy, TreeShape};
+use gm::GmParams;
+use nic_mcast::{McastConfig, RetxBufferPolicy, Scenario, TreeShape};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -25,31 +26,25 @@ struct Point {
 }
 
 fn measure(bufs: usize, policy: RetxBufferPolicy, iters: u32, warmup: u32) -> (f64, u64) {
-    let mut run = McastRun::new(16, 16384, McastMode::NicBased, TreeShape::Binomial);
-    run.warmup = warmup;
-    run.iters = iters;
+    let params = GmParams {
+        recv_buffers: bufs,
+        ..GmParams::default()
+    };
     // Mild loss delays some acknowledgments by the 1 ms timeout, so the
     // hold-SRAM policy keeps buffers pinned long enough to starve the pool.
-    run.faults = myrinet::FaultPlan::with_loss(0.01);
-    run.params.recv_buffers = bufs;
-    run.config = McastConfig {
-        retx_buffer: policy,
-        ..McastConfig::default()
-    };
-    let (cluster, shared) = build_cluster(&run);
-    let mut eng = cluster.into_engine();
-    eng.run_to_idle();
-    let drops: u64 = (0..run.n_nodes)
-        .map(|i| {
-            eng.world()
-                .nic(myrinet::NodeId(i))
-                .counters
-                .get("rx_drop_no_sram")
+    let rep = Scenario::nic_based(16)
+        .size(16384)
+        .tree(TreeShape::Binomial)
+        .warmup(warmup)
+        .iters(iters)
+        .loss(0.01)
+        .params(params)
+        .config(McastConfig {
+            retx_buffer: policy,
+            ..McastConfig::default()
         })
-        .sum();
-    let s = shared.borrow();
-    assert_eq!(s.iters_done, iters, "run incomplete");
-    (s.latency.mean(), drops)
+        .run();
+    (rep.latency.mean(), rep.metrics.get("nic.rx_drop_no_sram"))
 }
 
 fn main() {

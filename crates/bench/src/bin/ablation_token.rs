@@ -9,9 +9,8 @@
 //! dry (visible as `mcast_fwd_token_stall` events and inflated latency).
 
 use bench::{par_map, us, CliOpts, Table};
-use nic_mcast::{
-    build_cluster, FwdTokenPolicy, McastConfig, McastMode, McastRun, TreeShape,
-};
+use gm::GmParams;
+use nic_mcast::{FwdTokenPolicy, McastConfig, Scenario, TreeShape};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -23,28 +22,22 @@ struct Point {
 }
 
 fn measure(tokens: usize, policy: FwdTokenPolicy, iters: u32, warmup: u32) -> (f64, u64) {
-    let mut run = McastRun::new(16, 8192, McastMode::NicBased, TreeShape::Binomial);
-    run.warmup = warmup;
-    run.iters = iters;
-    run.params.send_tokens = tokens;
-    run.config = McastConfig {
-        fwd_token: policy,
-        ..McastConfig::default()
+    let params = GmParams {
+        send_tokens: tokens,
+        ..GmParams::default()
     };
-    let (cluster, shared) = build_cluster(&run);
-    let mut eng = cluster.into_engine();
-    eng.run_to_idle();
-    let stalls: u64 = (0..run.n_nodes)
-        .map(|i| {
-            eng.world()
-                .nic(myrinet::NodeId(i))
-                .counters
-                .get("mcast_fwd_token_stall")
+    let rep = Scenario::nic_based(16)
+        .size(8192)
+        .tree(TreeShape::Binomial)
+        .warmup(warmup)
+        .iters(iters)
+        .params(params)
+        .config(McastConfig {
+            fwd_token: policy,
+            ..McastConfig::default()
         })
-        .sum();
-    let s = shared.borrow();
-    assert_eq!(s.iters_done, iters, "run incomplete");
-    (s.latency.mean(), stalls)
+        .run();
+    (rep.latency.mean(), rep.metrics.get("nic.mcast_fwd_token_stall"))
 }
 
 fn main() {

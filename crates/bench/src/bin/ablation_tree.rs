@@ -5,10 +5,8 @@
 //! single-packet messages, pipeline k-ary for multi-packet) against fixed
 //! binomial, flat and chain trees over 16 nodes.
 
-use bench::{par_map, us, CliOpts, Table, GM_SIZES};
-use gm::GmParams;
-use myrinet::NetParams;
-use nic_mcast::{execute, shape_for_size, McastMode, McastRun, TreeShape};
+use bench::{par_map, us, CliOpts, Sweep, Table};
+use nic_mcast::{Scenario, TreeShape};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -25,22 +23,18 @@ struct Point {
 fn main() {
     let opts = CliOpts::parse();
     let n = 16u32;
-    let results: Vec<Point> = par_map(GM_SIZES.to_vec(), |&size| {
+    let sweep = Sweep::gm_sizes();
+    let results: Vec<Point> = par_map(&sweep, |&size| {
         let m = |shape: TreeShape| {
-            let mut run = McastRun::new(n, size, McastMode::NicBased, shape);
-            run.warmup = opts.warmup;
-            run.iters = opts.iters;
-            let out = execute(&run);
+            let out = Scenario::nic_based(n)
+                .size(size)
+                .tree(shape)
+                .warmup(opts.warmup)
+                .iters(opts.iters)
+                .run();
             (out.latency.mean(), out.root_link_utilization)
         };
-        let adaptive = shape_for_size(
-            size,
-            n as usize - 1,
-            &GmParams::default(),
-            &NetParams::default(),
-            2,
-        );
-        let (adaptive_us, adaptive_root_util) = m(adaptive);
+        let (adaptive_us, adaptive_root_util) = m(TreeShape::auto());
         let (binomial_us, _) = m(TreeShape::Binomial);
         let (flat_us, flat_root_util) = m(TreeShape::Flat);
         let (chain_us, _) = m(TreeShape::Chain);
@@ -86,5 +80,5 @@ fn main() {
          multi-packet sizes. Flat trees saturate the root's injection link\n\
          (last column) and chains pay maximal depth."
     );
-    bench::write_json("ablation_tree", &results);
+    bench::write_json_sweep("ablation_tree", &sweep, &results);
 }

@@ -6,11 +6,7 @@
 //!     --nodes 16 --size 4096 --mode nic --shape adaptive --loss 0.01 --iters 50
 //! ```
 
-use gm::GmParams;
-use myrinet::{FaultPlan, NetParams};
-use nic_mcast::{
-    execute, shape_for_size, McastMode, McastRun, PostalParams, SpanningTree, TreeShape,
-};
+use nic_mcast::{McastMode, PostalParams, Scenario, SpanningTree, TreeShape};
 
 struct Opts {
     nodes: u32,
@@ -76,15 +72,9 @@ fn parse() -> Opts {
     o
 }
 
-fn parse_shape(spec: &str, size: usize, n_dests: usize) -> TreeShape {
+fn parse_shape(spec: &str) -> TreeShape {
     match spec {
-        "adaptive" => shape_for_size(
-            size,
-            n_dests,
-            &GmParams::default(),
-            &NetParams::default(),
-            2,
-        ),
+        "adaptive" => TreeShape::auto(),
         "binomial" => TreeShape::Binomial,
         "flat" => TreeShape::Flat,
         "chain" => TreeShape::Chain,
@@ -121,22 +111,28 @@ fn print_tree(tree: &SpanningTree, node: myrinet::NodeId, depth: usize) {
 
 fn main() {
     let o = parse();
-    let shape = parse_shape(&o.shape, o.size, o.nodes as usize - 1);
-    let mut run = McastRun::new(o.nodes, o.size, o.mode, shape);
-    run.warmup = o.warmup;
-    run.iters = o.iters;
-    run.seed = o.seed;
-    if o.loss > 0.0 {
-        run.faults = FaultPlan::with_loss(o.loss);
+    let scenario = match o.mode {
+        McastMode::NicBased => Scenario::nic_based(o.nodes),
+        McastMode::HostBased => Scenario::host_based(o.nodes),
     }
+    .size(o.size)
+    .tree(parse_shape(&o.shape))
+    .warmup(o.warmup)
+    .iters(o.iters)
+    .seed(o.seed)
+    .loss(o.loss);
+    let built = scenario.build().unwrap_or_else(|e| {
+        eprintln!("invalid scenario: {e}");
+        std::process::exit(2)
+    });
+    let shape = built.spec().shape;
     if o.show_tree {
-        let dests: Vec<myrinet::NodeId> = (1..o.nodes).map(myrinet::NodeId).collect();
-        let tree = SpanningTree::build(myrinet::NodeId(0), &dests, shape);
+        let tree = SpanningTree::build(built.spec().root, &built.spec().dests, shape);
         println!("spanning tree ({shape:?}):");
-        print_tree(&tree, myrinet::NodeId(0), 0);
+        print_tree(&tree, built.spec().root, 0);
         println!();
     }
-    let out = execute(&run);
+    let out = built.run();
     println!(
         "{} multicast, {} nodes, {} bytes, shape {:?}, loss {:.2}%",
         match o.mode {

@@ -4,9 +4,7 @@
 //! for a small and a large message and reports both schemes.
 
 use bench::{factor, par_map, us, CliOpts, Table};
-use gm::GmParams;
-use myrinet::NetParams;
-use nic_mcast::{execute, shape_for_size, McastMode, McastRun, TreeShape};
+use nic_mcast::{Scenario, TreeShape};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -29,22 +27,15 @@ fn main() {
         }
     }
     let results: Vec<Point> = par_map(points, |&(n, size)| {
-        let hops = if n <= 16 { 2 } else { 4 };
-        let shape = shape_for_size(
-            size,
-            n as usize - 1,
-            &GmParams::default(),
-            &NetParams::default(),
-            hops,
-        );
-        let m = |mode: McastMode, shape: TreeShape| {
-            let mut run = McastRun::new(n, size, mode, shape);
-            run.warmup = opts.warmup;
-            run.iters = opts.iters;
-            execute(&run)
+        let m = |s: Scenario, shape: TreeShape| {
+            s.size(size)
+                .tree(shape)
+                .warmup(opts.warmup)
+                .iters(opts.iters)
+                .run()
         };
-        let hb = m(McastMode::HostBased, TreeShape::Binomial);
-        let nb = m(McastMode::NicBased, shape);
+        let hb = m(Scenario::host_based(n), TreeShape::Binomial);
+        let nb = m(Scenario::nic_based(n), TreeShape::auto());
         Point {
             nodes: n,
             size,

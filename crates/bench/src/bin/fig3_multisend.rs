@@ -8,8 +8,8 @@
 //! Regenerates both panels: (a) latency for 3/4/8 destinations across
 //! 1 B..16 KB, and (b) the NB-over-HB improvement factor.
 
-use bench::{factor, par_map, us, CliOpts, Table, GM_SIZES};
-use nic_mcast::{execute, AckMode, McastMode, McastRun, TreeShape};
+use bench::{factor, par_map, us, CliOpts, Sweep, Table};
+use nic_mcast::{AckMode, Scenario, TreeShape};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -24,25 +24,29 @@ struct Point {
 fn main() {
     let opts = CliOpts::parse();
     let dest_counts = [3u32, 4, 8];
+    let sweep = Sweep::gm_sizes();
 
     let mut points = Vec::new();
     for &k in &dest_counts {
-        for &size in &GM_SIZES {
+        for size in &sweep {
             points.push((k, size));
         }
     }
     let results: Vec<Point> = par_map(points, |&(k, size)| {
-        let measure = |mode: McastMode| -> f64 {
+        let measure = |s: Scenario| -> f64 {
             // Multisend: a flat tree — every destination is a direct child
             // of the root, no forwarding.
-            let mut run = McastRun::new(k + 1, size, mode, TreeShape::Flat);
-            run.ack = AckMode::NicAck;
-            run.warmup = opts.warmup;
-            run.iters = opts.iters;
-            execute(&run).latency.mean()
+            s.size(size)
+                .tree(TreeShape::Flat)
+                .ack(AckMode::NicAck)
+                .warmup(opts.warmup)
+                .iters(opts.iters)
+                .run()
+                .latency
+                .mean()
         };
-        let hb = measure(McastMode::HostBased);
-        let nb = measure(McastMode::NicBased);
+        let hb = measure(Scenario::host_based(k + 1));
+        let nb = measure(Scenario::nic_based(k + 1));
         Point {
             dests: k,
             size,
@@ -60,7 +64,7 @@ fn main() {
         "Figure 3(b): improvement factor (HB/NB)",
         &["size", "3", "4", "8"],
     );
-    for &size in &GM_SIZES {
+    for size in &sweep {
         let get = |k: u32| {
             results
                 .iter()
@@ -94,5 +98,5 @@ fn main() {
         .fold(0.0f64, f64::max);
     println!("\nPaper: improvement up to 2.05x for <=128B at 4 destinations.");
     println!("Measured peak (<=128B, 4 dests): {peak:.2}x");
-    bench::write_json("fig3_multisend", &results);
+    bench::write_json_sweep("fig3_multisend", &sweep, &results);
 }

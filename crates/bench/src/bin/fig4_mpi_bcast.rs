@@ -5,7 +5,7 @@
 //! small messages, and a dip at 16 287 B "due to the larger cost of copying
 //! the data to their final locations".
 
-use bench::{factor, par_map, us, CliOpts, Table, MPI_SIZES};
+use bench::{factor, par_map, us, CliOpts, Sweep, Table};
 use gm_mpi::{execute_mpi, BcastImpl, MpiRun};
 use gm_sim::SimDuration;
 use serde::Serialize;
@@ -22,9 +22,10 @@ struct Point {
 fn main() {
     let opts = CliOpts::parse();
     let rank_counts = [4u32, 8, 16];
+    let sweep = Sweep::mpi_sizes();
     let mut points = Vec::new();
     for &n in &rank_counts {
-        for &size in &MPI_SIZES {
+        for size in &sweep {
             points.push((n, size));
         }
     }
@@ -52,7 +53,7 @@ fn main() {
         "Figure 4(b): improvement factor (HB/NB)",
         &["size", "4", "8", "16"],
     );
-    for &size in &MPI_SIZES {
+    for size in &sweep {
         let get = |n: u32| {
             results
                 .iter()
@@ -97,5 +98,5 @@ fn main() {
         .unwrap_or(0.0);
     println!("\nPaper (16 ranks): 2.02x at 8KB, up to 1.78x small, dip at 16287B.");
     println!("Measured: 8KB {peak:.2}x, small peak {small:.2}x, 16287B {last:.2}x");
-    bench::write_json("fig4_mpi_bcast", &results);
+    bench::write_json_sweep("fig4_mpi_bcast", &sweep, &results);
 }

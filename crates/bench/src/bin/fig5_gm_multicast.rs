@@ -6,10 +6,8 @@
 //! for 16 KB on 16 nodes, with a dip at 2-4 KB where messages are too big
 //! for the multisend win and too small for pipelining.
 
-use bench::{factor, par_map, us, CliOpts, Table, GM_SIZES};
-use gm::GmParams;
-use myrinet::NetParams;
-use nic_mcast::{execute, execute_max_over_probes, shape_for_size, McastMode, McastRun, TreeShape};
+use bench::{factor, par_map, us, CliOpts, Sweep, Table};
+use nic_mcast::{execute_max_over_probes, Scenario, TreeShape};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -27,34 +25,31 @@ fn main() {
     let sweep_started = std::time::Instant::now();
     let opts = CliOpts::parse();
     let node_counts = [4u32, 8, 16];
+    let sweep = Sweep::gm_sizes();
 
     let mut points = Vec::new();
     for &n in &node_counts {
-        for &size in &GM_SIZES {
+        for size in &sweep {
             points.push((n, size));
         }
     }
     let results: Vec<Point> = par_map(points, |&(n, size)| {
-        let hops = 2; // single crossbar for <=16 nodes
-        let shape = shape_for_size(
-            size,
-            n as usize - 1,
-            &GmParams::default(),
-            &NetParams::default(),
-            hops,
-        );
-        let run_one = |mode: McastMode, shape: TreeShape| {
-            let mut run = McastRun::new(n, size, mode, shape);
-            run.warmup = opts.warmup;
-            run.iters = opts.iters;
+        let run_one = |s: Scenario, shape: TreeShape| {
+            let built = s
+                .size(size)
+                .tree(shape)
+                .warmup(opts.warmup)
+                .iters(opts.iters)
+                .build()
+                .expect("valid scenario");
             if opts.all_probes {
-                execute_max_over_probes(&run)
+                execute_max_over_probes(built.spec())
             } else {
-                execute(&run)
+                built.run().output
             }
         };
-        let hb = run_one(McastMode::HostBased, TreeShape::Binomial);
-        let nb = run_one(McastMode::NicBased, shape);
+        let hb = run_one(Scenario::host_based(n), TreeShape::Binomial);
+        let nb = run_one(Scenario::nic_based(n), TreeShape::auto());
         Point {
             nodes: n,
             size,
@@ -74,7 +69,7 @@ fn main() {
         "Figure 5(b): improvement factor (HB/NB)",
         &["size", "4", "8", "16", "NB16 tree h/fan"],
     );
-    for &size in &GM_SIZES {
+    for size in &sweep {
         let get = |n: u32| {
             results
                 .iter()
@@ -120,6 +115,6 @@ fn main() {
         .fold(f64::INFINITY, f64::min);
     println!("\nPaper (16 nodes): up to 1.48x (<=512B), up to 1.86x (16KB), dip at 2-4KB.");
     println!("Measured: small peak {small:.2}x, 16KB {large:.2}x, 2-4KB dip {dip:.2}x");
-    bench::write_json("fig5_gm_multicast", &results);
+    bench::write_json_sweep("fig5_gm_multicast", &sweep, &results);
     bench::perf::record("fig5_gm_multicast", sweep_started.elapsed());
 }

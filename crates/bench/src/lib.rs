@@ -14,25 +14,19 @@ use std::time::Duration;
 
 use serde::Serialize;
 
-/// The message-size sweep the paper's GM-level figures use (1 B .. 16 KB).
-pub const GM_SIZES: [usize; 15] = [
-    1, 4, 16, 64, 128, 256, 512, 1024, 2048, 4096, 6144, 8192, 10240, 12288, 16384,
-];
-
-/// The MPI-level sweep tops out at the largest eager message (16 287 B).
-pub const MPI_SIZES: [usize; 15] = [
-    1, 4, 16, 64, 128, 256, 512, 1024, 2048, 4096, 6144, 8192, 10240, 12288, 16287,
-];
+pub use nic_mcast::Sweep;
 
 /// Evaluate `f` over `items` in parallel, preserving input order.
 ///
-/// Work is distributed over channels: each worker pulls `(index, item)` pairs
+/// `items` is any `IntoIterator` — a `Vec`, a [`Sweep`], a range. Work is
+/// distributed over channels: each worker pulls `(index, item)` pairs
 /// from a shared receiver and sends `(index, result)` back, so there is no
 /// lock-held section around the evaluation itself. Simulator instances are
 /// fully independent, so this is a pure speedup with identical results to a
 /// serial run.
-pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+pub fn par_map<I, T, R, F>(items: I, f: F) -> Vec<R>
 where
+    I: IntoIterator<Item = T>,
     T: Send,
     R: Send,
     F: Fn(&T) -> R + Sync,
@@ -44,12 +38,14 @@ where
 }
 
 /// [`par_map`] that also captures each point's wall-clock evaluation time.
-pub fn par_map_timed<T, R, F>(items: Vec<T>, f: F) -> Vec<(R, Duration)>
+pub fn par_map_timed<I, T, R, F>(items: I, f: F) -> Vec<(R, Duration)>
 where
+    I: IntoIterator<Item = T>,
     T: Send,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    let items: Vec<T> = items.into_iter().collect();
     let n = items.len();
     if n == 0 {
         return Vec::new();
@@ -192,6 +188,27 @@ pub fn write_json<T: Serialize>(name: &str, rows: &T) {
     }
 }
 
+/// Write `rows` under `results/<name>.json` together with the [`Sweep`]
+/// that produced them, as `{"sweep": {"label": ..., "points": [...]},
+/// "rows": [...]}` — so a results file records its own x-axis.
+pub fn write_json_sweep<T: Serialize>(name: &str, sweep: &Sweep, rows: &T) {
+    let mut sw = serde_json::Value::Map(vec![]);
+    sw.insert("label", serde_json::Value::Str(sweep.label().to_string()));
+    sw.insert(
+        "points",
+        serde_json::Value::Seq(
+            sweep
+                .iter()
+                .map(|p| serde_json::Value::UInt(p as u64))
+                .collect(),
+        ),
+    );
+    let mut doc = serde_json::Value::Map(vec![]);
+    doc.insert("sweep", sw);
+    doc.insert("rows", rows.to_json_value());
+    write_json(name, &doc);
+}
+
 /// Dispatch-performance recording: each figure binary can report its
 /// process-wide engine throughput into `results/perf_baseline.json`, keyed
 /// by binary name, merging with records from other binaries. The file is the
@@ -313,7 +330,7 @@ mod tests {
 
     #[test]
     fn par_map_preserves_order() {
-        let out = par_map((0..100).collect(), |&x: &i32| x * 2);
+        let out = par_map((0..100).collect::<Vec<i32>>(), |&x: &i32| x * 2);
         assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
     }
 
@@ -325,7 +342,7 @@ mod tests {
 
     #[test]
     fn par_map_timed_captures_wall_times() {
-        let out = par_map_timed((0..20).collect(), |&x: &u64| {
+        let out = par_map_timed((0..20).collect::<Vec<u64>>(), |&x: &u64| {
             std::thread::sleep(std::time::Duration::from_micros(100));
             x + 1
         });
@@ -340,7 +357,7 @@ mod tests {
     fn par_map_runs_every_item_once() {
         use std::sync::atomic::{AtomicU64, Ordering};
         let calls = AtomicU64::new(0);
-        let out = par_map((0..500).collect(), |&x: &u64| {
+        let out = par_map((0..500).collect::<Vec<u64>>(), |&x: &u64| {
             calls.fetch_add(1, Ordering::Relaxed);
             x
         });

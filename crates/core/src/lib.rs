@@ -22,14 +22,16 @@
 //! # Example: one multicast over a 8-node cluster
 //!
 //! ```
-//! use nic_mcast::{execute, McastMode, McastRun, TreeShape};
+//! use nic_mcast::{Scenario, TreeShape};
 //!
-//! let mut run = McastRun::new(8, 1024, McastMode::NicBased, TreeShape::Binomial);
-//! run.warmup = 2;
-//! run.iters = 10;
-//! let out = execute(&run);
-//! assert_eq!(out.latency.count(), 10);
-//! assert!(out.latency.mean() > 0.0);
+//! let report = Scenario::nic_based(8)
+//!     .size(1024)
+//!     .tree(TreeShape::auto())
+//!     .warmup(2)
+//!     .iters(10)
+//!     .run();
+//! assert_eq!(report.latency.count(), 10);
+//! assert!(report.latency.mean() > 0.0);
 //! ```
 
 #![warn(missing_docs)]
@@ -38,17 +40,24 @@ mod calibrate;
 mod ext;
 pub mod features;
 mod group;
+mod scenario;
+mod sweep;
 mod tree;
 mod workloads;
 
 pub use calibrate::{postal_for_size, shape_for_size};
 pub use ext::{McastExt, McastTag, BARRIER_TAG_BIT, OP_BARRIER_UP};
+pub use gm_sim::probe::ProbeConfig;
 pub use group::{
     FwdTokenPolicy, McastConfig, McastNotice, McastRequest, MultisendImpl, ReduceOp,
     RetxBufferPolicy,
 };
+pub use scenario::{BuiltScenario, Report, Scenario, ScenarioError};
+pub use sweep::Sweep;
 pub use tree::{coverage, min_makespan, PostalParams, SpanningTree, TreeShape};
+#[allow(deprecated)]
+pub use workloads::execute;
 pub use workloads::{
-    build_cluster, execute, execute_max_over_probes, AckMode, McastMode, McastRun, RunOutput,
-    Shared, DATA_PORT, REPLY_PORT,
+    build_cluster, execute_instrumented, execute_max_over_probes, AckMode, InstrumentedOutput,
+    McastMode, McastRun, RunOutput, Shared, DATA_PORT, REPLY_PORT,
 };

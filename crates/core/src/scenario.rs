@@ -1,0 +1,452 @@
+//! The scenario API: typed, validated construction of measurement runs.
+//!
+//! [`Scenario`] replaces the old pattern of mutating [`McastRun`] fields by
+//! hand. It validates everything at [`build`](Scenario::build) time (instead
+//! of panicking mid-run), resolves [`TreeShape::Auto`] against the
+//! calibrated postal model, and threads an observability configuration
+//! ([`ProbeConfig`]) through to the cluster, so one run returns a [`Report`]
+//! carrying latency statistics, a counter snapshot, the probe event history
+//! and a latency-attribution breakdown.
+//!
+//! ```
+//! use nic_mcast::{ProbeConfig, Scenario, TreeShape};
+//!
+//! let report = Scenario::nic_based(16)
+//!     .size(4096)
+//!     .tree(TreeShape::auto())
+//!     .warmup(2)
+//!     .iters(5)
+//!     .probes(ProbeConfig::spans())
+//!     .run();
+//! assert_eq!(report.latency.count(), 5);
+//! assert!(report.metrics.get("nic.tx_data") > 0);
+//! assert!(!report.probe.is_empty());
+//! ```
+
+use gm::GmParams;
+use gm_sim::probe::{attribution, attribution::Attribution, ProbeConfig};
+use gm_sim::SimTime;
+use myrinet::{FaultPlan, NetParams, NodeId};
+
+use crate::calibrate::shape_for_size;
+use crate::group::McastConfig;
+use crate::tree::TreeShape;
+use crate::workloads::{
+    execute_instrumented, AckMode, InstrumentedOutput, McastMode, McastRun, RunOutput,
+};
+
+/// A validated-at-build measurement scenario.
+///
+/// Construct with [`nic_based`](Scenario::nic_based) or
+/// [`host_based`](Scenario::host_based), refine with the chained setters,
+/// then [`build`](Scenario::build) (fallible) or [`run`](Scenario::run)
+/// (builds and executes, panicking on invalid input with the validation
+/// message).
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    run: McastRun,
+    probes: ProbeConfig,
+    dests_overridden: bool,
+}
+
+/// Why a [`Scenario`] failed to [`build`](Scenario::build).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScenarioError {
+    /// Fewer than two nodes: there is nobody to multicast to.
+    TooFewNodes(u32),
+    /// The destination set is empty.
+    NoDestinations,
+    /// A destination appears twice.
+    DuplicateDestination(NodeId),
+    /// A destination is outside `0..n_nodes`.
+    DestinationOutOfRange(NodeId),
+    /// The root cannot also be a destination.
+    RootIsDestination(NodeId),
+    /// The probe node must be one of the destinations.
+    ProbeNotADestination(NodeId),
+    /// Loss/corruption probabilities must lie in `[0, 1)`.
+    InvalidProbability(f64),
+    /// At least one timed iteration is required.
+    NoIterations,
+    /// The message must carry at least one byte.
+    EmptyMessage,
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::TooFewNodes(n) => write!(f, "need at least 2 nodes, got {n}"),
+            ScenarioError::NoDestinations => write!(f, "destination set is empty"),
+            ScenarioError::DuplicateDestination(d) => write!(f, "duplicate destination {d}"),
+            ScenarioError::DestinationOutOfRange(d) => {
+                write!(f, "destination {d} is outside the cluster")
+            }
+            ScenarioError::RootIsDestination(r) => {
+                write!(f, "root {r} cannot be a destination")
+            }
+            ScenarioError::ProbeNotADestination(p) => {
+                write!(f, "probe {p} is not a destination")
+            }
+            ScenarioError::InvalidProbability(p) => {
+                write!(f, "probability {p} is outside [0, 1)")
+            }
+            ScenarioError::NoIterations => write!(f, "need at least 1 timed iteration"),
+            ScenarioError::EmptyMessage => write!(f, "message size must be at least 1 byte"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl Scenario {
+    fn new(n_nodes: u32, mode: McastMode) -> Scenario {
+        // Defer the < 2 check to build(); McastRun::new asserts, so build
+        // the run with a floor of 2 and remember the requested count.
+        let mut run = McastRun::new(n_nodes.max(2), 1024, mode, TreeShape::Auto);
+        run.n_nodes = n_nodes;
+        Scenario {
+            run,
+            probes: ProbeConfig::off(),
+            dests_overridden: false,
+        }
+    }
+
+    /// The paper's NIC-based multicast over an `n_nodes` cluster
+    /// (defaults: 1 KB messages, auto tree, 20 warmup, 100 timed
+    /// iterations, root 0, everyone else a destination, probes off).
+    pub fn nic_based(n_nodes: u32) -> Scenario {
+        Scenario::new(n_nodes, McastMode::NicBased)
+    }
+
+    /// The traditional host-based store-and-forward scheme, same defaults.
+    pub fn host_based(n_nodes: u32) -> Scenario {
+        Scenario::new(n_nodes, McastMode::HostBased)
+    }
+
+    /// Message size in bytes.
+    pub fn size(mut self, bytes: usize) -> Scenario {
+        self.run.size = bytes;
+        self
+    }
+
+    /// Tree shape ([`TreeShape::auto`] resolves against the calibrated
+    /// postal model at build time).
+    pub fn tree(mut self, shape: TreeShape) -> Scenario {
+        self.run.shape = shape;
+        self
+    }
+
+    /// Independent per-packet loss probability (`[0, 1)`).
+    pub fn loss(mut self, drop_prob: f64) -> Scenario {
+        self.run.faults.drop_prob = drop_prob;
+        self
+    }
+
+    /// Full fault plan (loss, corruption, targeted drop rules).
+    pub fn faults(mut self, plan: FaultPlan) -> Scenario {
+        self.run.faults = plan;
+        self
+    }
+
+    /// Untimed warmup iterations.
+    pub fn warmup(mut self, n: u32) -> Scenario {
+        self.run.warmup = n;
+        self
+    }
+
+    /// Timed iterations.
+    pub fn iters(mut self, n: u32) -> Scenario {
+        self.run.iters = n;
+        self
+    }
+
+    /// The multicast root (destinations shift accordingly unless
+    /// explicitly overridden with [`dests`](Scenario::dests)).
+    pub fn root(mut self, root: NodeId) -> Scenario {
+        self.run.root = root;
+        self
+    }
+
+    /// Explicit destination set (default: every node but the root).
+    pub fn dests(mut self, dests: Vec<NodeId>) -> Scenario {
+        self.run.dests = dests;
+        self.dests_overridden = true;
+        self
+    }
+
+    /// Which destination returns the application-level ack.
+    pub fn probe_node(mut self, probe: NodeId) -> Scenario {
+        self.run.probe = probe;
+        self
+    }
+
+    /// What ends an iteration at the root.
+    pub fn ack(mut self, mode: AckMode) -> Scenario {
+        self.run.ack = mode;
+        self
+    }
+
+    /// RNG seed (affects only fault draws).
+    pub fn seed(mut self, seed: u64) -> Scenario {
+        self.run.seed = seed;
+        self
+    }
+
+    /// Firmware ablation switches.
+    pub fn config(mut self, config: McastConfig) -> Scenario {
+        self.run.config = config;
+        self
+    }
+
+    /// Node parameters.
+    pub fn params(mut self, params: GmParams) -> Scenario {
+        self.run.params = params;
+        self
+    }
+
+    /// Network parameters.
+    pub fn net(mut self, net: NetParams) -> Scenario {
+        self.run.net = net;
+        self
+    }
+
+    /// Observability configuration (default: [`ProbeConfig::off`], which
+    /// records nothing and allocates nothing).
+    pub fn probes(mut self, config: ProbeConfig) -> Scenario {
+        self.probes = config;
+        self
+    }
+
+    /// Validate and resolve into an executable scenario.
+    pub fn build(self) -> Result<BuiltScenario, ScenarioError> {
+        let Scenario {
+            mut run,
+            probes,
+            dests_overridden,
+        } = self;
+        if run.n_nodes < 2 {
+            return Err(ScenarioError::TooFewNodes(run.n_nodes));
+        }
+        // A moved root regenerates the default destination/probe set.
+        if !dests_overridden {
+            run.dests = (0..run.n_nodes).map(NodeId).filter(|&d| d != run.root).collect();
+            if !run.dests.contains(&run.probe) {
+                run.probe = *run.dests.last().expect("n_nodes >= 2");
+            }
+        }
+        if run.dests.is_empty() {
+            return Err(ScenarioError::NoDestinations);
+        }
+        let mut sorted = run.dests.clone();
+        sorted.sort_unstable();
+        if let Some(w) = sorted.windows(2).find(|w| w[0] == w[1]) {
+            return Err(ScenarioError::DuplicateDestination(w[0]));
+        }
+        if let Some(&d) = sorted.iter().find(|d| d.0 >= run.n_nodes) {
+            return Err(ScenarioError::DestinationOutOfRange(d));
+        }
+        if run.root.0 >= run.n_nodes {
+            return Err(ScenarioError::DestinationOutOfRange(run.root));
+        }
+        if sorted.contains(&run.root) {
+            return Err(ScenarioError::RootIsDestination(run.root));
+        }
+        if !run.dests.contains(&run.probe) {
+            return Err(ScenarioError::ProbeNotADestination(run.probe));
+        }
+        for p in [run.faults.drop_prob, run.faults.corrupt_prob] {
+            if !(0.0..1.0).contains(&p) {
+                return Err(ScenarioError::InvalidProbability(p));
+            }
+        }
+        if run.iters == 0 {
+            return Err(ScenarioError::NoIterations);
+        }
+        if run.size == 0 {
+            return Err(ScenarioError::EmptyMessage);
+        }
+        if run.shape == TreeShape::Auto {
+            let hops = if run.n_nodes <= 16 { 2 } else { 4 };
+            run.shape = match run.mode {
+                McastMode::NicBased => shape_for_size(
+                    run.size,
+                    run.dests.len(),
+                    &run.params,
+                    &run.net,
+                    hops,
+                ),
+                // The traditional scheme the paper compares against.
+                McastMode::HostBased => TreeShape::Binomial,
+            };
+        }
+        Ok(BuiltScenario { run, probes })
+    }
+
+    /// Build and execute, returning the [`Report`].
+    ///
+    /// Panics with the validation message on invalid input; use
+    /// [`build`](Scenario::build) to handle errors.
+    pub fn run(self) -> Report {
+        match self.build() {
+            Ok(built) => built.run(),
+            Err(e) => panic!("invalid scenario: {e}"),
+        }
+    }
+}
+
+/// A validated scenario, ready to execute (or inspect).
+#[derive(Clone, Debug)]
+pub struct BuiltScenario {
+    run: McastRun,
+    probes: ProbeConfig,
+}
+
+impl BuiltScenario {
+    /// The fully-resolved run specification (Auto tree already replaced).
+    pub fn spec(&self) -> &McastRun {
+        &self.run
+    }
+
+    /// The observability configuration.
+    pub fn probe_config(&self) -> ProbeConfig {
+        self.probes
+    }
+
+    /// Execute to completion.
+    pub fn run(&self) -> Report {
+        let InstrumentedOutput {
+            output,
+            probe,
+            metrics,
+            windows,
+        } = execute_instrumented(&self.run, self.probes);
+        let attribution = if self.probes.is_enabled() && !windows.is_empty() {
+            let events = probe.to_vec();
+            Some(attribution::attribute(&events, &windows))
+        } else {
+            None
+        };
+        Report {
+            output,
+            metrics,
+            probe,
+            windows,
+            attribution,
+        }
+    }
+}
+
+/// Everything one scenario execution produced.
+///
+/// Dereferences to [`RunOutput`], so existing measurement code
+/// (`report.latency.mean()`, `report.retransmissions`, ...) keeps working.
+#[derive(Debug)]
+pub struct Report {
+    /// The latency measurements (also reachable through `Deref`).
+    pub output: RunOutput,
+    /// Counter snapshot: `nic.*` (summed over nodes), `fabric.*`,
+    /// `engine.*`.
+    pub metrics: gm_sim::Metrics,
+    /// The recorded probe events (empty unless probes were enabled).
+    pub probe: gm_sim::ProbeSink,
+    /// `(start, end)` of each timed iteration.
+    pub windows: Vec<(SimTime, SimTime)>,
+    /// Latency attribution over the timed windows (present when probes
+    /// were enabled).
+    pub attribution: Option<Attribution>,
+}
+
+impl std::ops::Deref for Report {
+    type Target = RunOutput;
+    fn deref(&self) -> &RunOutput {
+        &self.output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quickstart_runs_and_reports() {
+        let report = Scenario::nic_based(8)
+            .size(512)
+            .tree(TreeShape::auto())
+            .warmup(1)
+            .iters(3)
+            .probes(ProbeConfig::spans())
+            .run();
+        assert_eq!(report.latency.count(), 3);
+        assert!(report.latency.mean() > 0.0);
+        assert!(report.metrics.get("nic.tx_data") > 0);
+        assert!(report.metrics.get("engine.events") > 0);
+        assert!(!report.probe.is_empty());
+        assert_eq!(report.windows.len(), 3);
+        let attr = report.attribution.as_ref().expect("probes were on");
+        assert!(attr.mean_total_us() > 0.0);
+    }
+
+    #[test]
+    fn disabled_probes_record_nothing() {
+        let report = Scenario::nic_based(4).warmup(1).iters(2).run();
+        assert!(report.probe.is_empty());
+        assert_eq!(report.probe.allocated_capacity(), 0);
+        assert!(report.attribution.is_none());
+    }
+
+    #[test]
+    fn validation_catches_bad_input() {
+        assert_eq!(
+            Scenario::nic_based(1).build().unwrap_err(),
+            ScenarioError::TooFewNodes(1)
+        );
+        assert_eq!(
+            Scenario::nic_based(4).iters(0).build().unwrap_err(),
+            ScenarioError::NoIterations
+        );
+        assert_eq!(
+            Scenario::nic_based(4).loss(1.5).build().unwrap_err(),
+            ScenarioError::InvalidProbability(1.5)
+        );
+        assert_eq!(
+            Scenario::nic_based(4).size(0).build().unwrap_err(),
+            ScenarioError::EmptyMessage
+        );
+        assert_eq!(
+            Scenario::nic_based(4)
+                .probe_node(NodeId(0))
+                .dests(vec![NodeId(1), NodeId(2)])
+                .build()
+                .unwrap_err(),
+            ScenarioError::ProbeNotADestination(NodeId(0))
+        );
+        assert_eq!(
+            Scenario::nic_based(4)
+                .dests(vec![NodeId(1), NodeId(1)])
+                .build()
+                .unwrap_err(),
+            ScenarioError::DuplicateDestination(NodeId(1))
+        );
+    }
+
+    #[test]
+    fn moving_the_root_regenerates_defaults() {
+        let built = Scenario::nic_based(4).root(NodeId(3)).build().expect("valid");
+        assert_eq!(built.spec().root, NodeId(3));
+        assert!(!built.spec().dests.contains(&NodeId(3)));
+        assert_eq!(built.spec().dests.len(), 3);
+        assert!(built.spec().dests.contains(&built.spec().probe));
+    }
+
+    #[test]
+    fn auto_tree_resolves_before_execution() {
+        let built = Scenario::nic_based(16)
+            .size(64)
+            .tree(TreeShape::auto())
+            .build()
+            .expect("valid");
+        assert_ne!(built.spec().shape, TreeShape::Auto);
+        let hb = Scenario::host_based(8).tree(TreeShape::auto()).build().expect("valid");
+        assert_eq!(hb.spec().shape, TreeShape::Binomial);
+    }
+}

@@ -1,0 +1,105 @@
+//! Named message-size sweeps.
+//!
+//! Every figure in the paper sweeps message size over powers of two; the
+//! bench bins used to copy the same `[usize; 15]` literals around. A
+//! [`Sweep`] carries the points *and* a label, so results files record
+//! which sweep produced them.
+
+/// A labelled list of message sizes (bytes).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Sweep {
+    label: &'static str,
+    points: Vec<usize>,
+}
+
+impl Sweep {
+    /// The GM-level sweep the paper's Figures 3-5 use: 1 B to 16 KB.
+    pub fn gm_sizes() -> Sweep {
+        Sweep {
+            label: "gm_sizes",
+            points: vec![
+                1, 4, 16, 64, 128, 256, 512, 1024, 2048, 4096, 6144, 8192, 10240, 12288, 16384,
+            ],
+        }
+    }
+
+    /// The MPI-level sweep (Figures 6-7); tops out at the largest eager
+    /// message (16 287 B).
+    pub fn mpi_sizes() -> Sweep {
+        Sweep {
+            label: "mpi_sizes",
+            points: vec![
+                1, 4, 16, 64, 128, 256, 512, 1024, 2048, 4096, 6144, 8192, 10240, 12288, 16287,
+            ],
+        }
+    }
+
+    /// An arbitrary labelled sweep.
+    pub fn custom(label: &'static str, points: Vec<usize>) -> Sweep {
+        Sweep { label, points }
+    }
+
+    /// The sweep's label (recorded in results JSON).
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// The points, in order.
+    pub fn points(&self) -> &[usize] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the sweep is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Iterate the points by value.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.points.iter().copied()
+    }
+}
+
+impl IntoIterator for Sweep {
+    type Item = usize;
+    type IntoIter = std::vec::IntoIter<usize>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Sweep {
+    type Item = usize;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, usize>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_sweeps_match_the_paper() {
+        let gm = Sweep::gm_sizes();
+        assert_eq!(gm.points().first(), Some(&1));
+        assert_eq!(gm.points().last(), Some(&16384));
+        assert_eq!(gm.len(), 15);
+        let mpi = Sweep::mpi_sizes();
+        assert_eq!(mpi.points().last(), Some(&16287), "below the eager limit");
+    }
+
+    #[test]
+    fn sweeps_iterate_by_value() {
+        let s = Sweep::custom("demo", vec![1, 2, 4]);
+        let doubled: Vec<usize> = (&s).into_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 8]);
+        assert_eq!(s.iter().sum::<usize>(), 7);
+    }
+}

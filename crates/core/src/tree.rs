@@ -51,6 +51,18 @@ pub enum TreeShape {
     Flat,
     /// A linear chain (worst-case depth; ablation).
     Chain,
+    /// Pick the calibrated postal tree for the scenario's message size.
+    /// Only [`Scenario`](crate::Scenario) can resolve this (it knows the
+    /// size and parameters); [`SpanningTree::build`] rejects it.
+    Auto,
+}
+
+impl TreeShape {
+    /// The calibrated default: resolved to a postal-optimal tree by
+    /// [`Scenario::build`](crate::Scenario::build).
+    pub fn auto() -> TreeShape {
+        TreeShape::Auto
+    }
 }
 
 /// Postal-model timing estimate for a given message size.
@@ -128,6 +140,9 @@ impl SpanningTree {
             }
             TreeShape::KAry(k) => {
                 tree.build_kary(root, &sorted, k.max(1) as usize);
+            }
+            TreeShape::Auto => {
+                panic!("TreeShape::Auto must be resolved by Scenario::build before tree construction")
             }
         }
         tree.validate().expect("builder produced a valid tree");

@@ -20,6 +20,7 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 use gm::{Cluster, GmParams, HostApp, HostCtx, Notice};
+use gm_sim::probe::{Metrics, ProbeConfig, ProbeSink};
 use gm_sim::{Histogram, OnlineStats, SimDuration, SimTime};
 use myrinet::{Fabric, FaultPlan, GroupId, NetParams, NodeId, PortId, Topology};
 
@@ -150,6 +151,9 @@ pub struct Shared {
     pub latency_hist: Histogram,
     /// Timed iterations completed.
     pub iters_done: u32,
+    /// `(start, end)` of each timed iteration — the windows latency
+    /// attribution decomposes.
+    pub windows: Vec<(SimTime, SimTime)>,
 }
 
 /// The root's driver app.
@@ -199,6 +203,7 @@ impl RootApp {
             s.latency.record_duration(lat);
             s.latency_hist.record(lat.as_micros_f64());
             s.iters_done += 1;
+            s.windows.push((self.t_start, ctx.now()));
         }
         self.iter += 1;
         if self.iter < self.total() {
@@ -318,6 +323,7 @@ pub fn build_cluster(run: &McastRun) -> (Cluster<McastExt>, Rc<RefCell<Shared>>)
         latency: OnlineStats::new(),
         latency_hist: Histogram::new(1.0, 100_000),
         iters_done: 0,
+        windows: Vec::new(),
     }));
     let config = run.config;
     let mut cluster = Cluster::new(run.params.clone(), fabric, |_| McastExt::with_config(config));
@@ -347,10 +353,36 @@ pub fn build_cluster(run: &McastRun) -> (Cluster<McastExt>, Rc<RefCell<Shared>>)
     (cluster, shared)
 }
 
+/// Everything an instrumented run produces: measurements plus the probe
+/// event history, per-iteration windows, and a counter snapshot.
+pub struct InstrumentedOutput {
+    /// The measurements (what [`execute`] used to return).
+    pub output: RunOutput,
+    /// The recorded probe events (empty when probes were off).
+    pub probe: ProbeSink,
+    /// Counter snapshot: `nic.*` (summed over nodes), `fabric.*`,
+    /// `engine.events`.
+    pub metrics: Metrics,
+    /// `(start, end)` of each timed iteration.
+    pub windows: Vec<(SimTime, SimTime)>,
+}
+
 /// Execute one run to completion and collect the measurements.
+///
+/// Prefer [`Scenario`](crate::Scenario), which validates its inputs and
+/// returns a [`Report`](crate::Report) with metrics and probes attached.
+#[deprecated(since = "0.2.0", note = "use `Scenario::...().run()` instead")]
 pub fn execute(run: &McastRun) -> RunOutput {
+    execute_instrumented(run, ProbeConfig::off()).output
+}
+
+/// Execute one run with an observability configuration. This is the single
+/// execution path behind both [`Scenario`](crate::Scenario) and the
+/// deprecated [`execute`].
+pub fn execute_instrumented(run: &McastRun, probes: ProbeConfig) -> InstrumentedOutput {
     let tree = SpanningTree::build(run.root, &run.dests, run.shape);
-    let (cluster, shared) = build_cluster(run);
+    let (mut cluster, shared) = build_cluster(run);
+    cluster.set_probes(probes);
     let mut eng = cluster.into_engine();
     let outcome = eng.run(SimTime::MAX, 2_000_000_000);
     assert_eq!(
@@ -375,7 +407,17 @@ pub fn execute(run: &McastRun) -> RunOutput {
     } else {
         0.0
     };
-    RunOutput {
+    let mut metrics = Metrics::new();
+    for i in 0..run.n_nodes {
+        for (name, v) in eng.world().nic(NodeId(i)).counters.iter() {
+            metrics.add("nic", name, v);
+        }
+    }
+    for (name, v) in eng.world().fabric().counters().iter() {
+        metrics.add("fabric", name, v);
+    }
+    metrics.set("engine", "events", eng.events_handled());
+    let output = RunOutput {
         latency: s.latency.clone(),
         latency_p50: s.latency_hist.percentile(50.0),
         latency_p99: s.latency_hist.percentile(99.0),
@@ -385,6 +427,15 @@ pub fn execute(run: &McastRun) -> RunOutput {
         end_time: eng.now(),
         events: eng.events_handled(),
         root_link_utilization,
+    };
+    let windows = s.windows.clone();
+    drop(s);
+    let probe = std::mem::replace(&mut eng.world_mut().probe, ProbeSink::disabled());
+    InstrumentedOutput {
+        output,
+        probe,
+        metrics,
+        windows,
     }
 }
 
@@ -395,7 +446,7 @@ pub fn execute_max_over_probes(run: &McastRun) -> RunOutput {
     for &probe in &run.dests {
         let mut r = run.clone();
         r.probe = probe;
-        let out = execute(&r);
+        let out = execute_instrumented(&r, ProbeConfig::off()).output;
         let better = worst
             .as_ref()
             .is_none_or(|w| out.latency.mean() > w.latency.mean());
@@ -409,6 +460,11 @@ pub fn execute_max_over_probes(run: &McastRun) -> RunOutput {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Shadow the deprecated shim: tests exercise the real path.
+    fn execute(run: &McastRun) -> RunOutput {
+        execute_instrumented(run, ProbeConfig::off()).output
+    }
 
     #[test]
     fn nic_based_flat_multisend_completes() {

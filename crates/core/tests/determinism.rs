@@ -6,16 +6,17 @@
 //! test pins that property by executing the same workload twice and
 //! comparing the full protocol traces event-for-event.
 
+use gm_sim::probe::{ProbeConfig, ProbeEvent};
 use nic_mcast::{build_cluster, McastMode, McastRun, TreeShape};
 
-/// Run `run` to completion with tracing on and return the trace.
-fn traced_events(run: &McastRun) -> Vec<gm::TraceEvent> {
+/// Run `run` to completion with probes on and return the event history.
+fn traced_events(run: &McastRun) -> Vec<ProbeEvent> {
     let (mut cluster, _shared) = build_cluster(run);
-    cluster.trace.enable();
+    cluster.set_probes(ProbeConfig::spans());
     let mut eng = cluster.into_engine();
     let outcome = eng.run_to_idle();
     assert_eq!(outcome, gm_sim::RunOutcome::Idle, "run did not converge");
-    eng.world().trace.events().to_vec()
+    eng.world().probe.to_vec()
 }
 
 fn assert_deterministic(run: &McastRun) {

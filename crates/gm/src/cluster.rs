@@ -7,14 +7,44 @@
 //! extension; this module only routes events and converts NIC intents into
 //! scheduled events.
 
-use gm_sim::{Engine, Scheduler, SimTime, World};
+use gm_sim::probe::{ProbeConfig, ProbeSink};
+use gm_sim::{Engine, Scheduler, SimDuration, SimTime, World};
 use myrinet::{Fabric, NodeId, Packet, Verdict};
 
 use crate::ext::NicExtension;
 use crate::host::{Host, HostApp, HostCall, HostCtx};
 use crate::nic::{Cb, NicCore, Notice, PciJob, TimerTag, TxJob, Work};
 use crate::params::GmParams;
-use crate::trace::{Trace, TraceKind};
+
+/// The probe points the cluster records (see `gm_sim::probe`). Every
+/// hand-off the old `gm::trace` captured maps onto one of these, plus host
+/// busy intervals, wire flight, link stalls, drops and timer fires.
+pub mod probes {
+    use gm_sim::probe::{ProbeId, Track};
+
+    /// A host call reached the NIC (doorbell). Label: `"send"` / `"ext"`.
+    pub const HOST_CALL: ProbeId = ProbeId::new("host_call", Track::Host);
+    /// Host CPU busy interval (API overhead, notice handling, compute).
+    pub const HOST_BUSY: ProbeId = ProbeId::new("host_busy", Track::Host);
+    /// A notice was delivered to the host application. Label: notice kind.
+    pub const NOTICE: ProbeId = ProbeId::new("notice", Track::Host);
+    /// LANai work-item span. Label: work kind (`"send_token"`, ...).
+    pub const LANAI: ProbeId = ProbeId::new("lanai", Track::Lanai);
+    /// PCI DMA transfer span. Payload `a`: transfer nanoseconds.
+    pub const PCI_DMA: ProbeId = ProbeId::new("pci_dma", Track::Pci);
+    /// Wire serialization span on the injection link. Payload: `a` =
+    /// destination node, `b` = wire bytes.
+    pub const WIRE_TX: ProbeId = ProbeId::new("wire_tx", Track::Wire);
+    /// Flight of a packet to its destination (propagation + switching +
+    /// eject serialization), recorded on the destination's wire track.
+    pub const WIRE_FLIGHT: ProbeId = ProbeId::new("wire_flight", Track::Wire);
+    /// A packet's tail arrived from the wire. Payload `a`: source node.
+    pub const RX_ARRIVE: ProbeId = ProbeId::new("rx_arrive", Track::Wire);
+    /// A NIC timer fired. Label: `"conn"` / `"ack_flush"` / `"ext"`.
+    pub const NIC_TIMER: ProbeId = ProbeId::new("nic_timer", Track::Lanai);
+
+    pub use gm_sim::probe::{LINK_STALL, PKT_DROP};
+}
 
 /// The cluster's event alphabet.
 #[derive(Debug)]
@@ -55,8 +85,8 @@ pub struct Cluster<X: NicExtension> {
     fabric: Fabric,
     slots: Vec<Slot<X>>,
     start_times: Vec<SimTime>,
-    /// Optional protocol trace (Figure 2 timelines).
-    pub trace: Trace,
+    /// Observability sink (disabled by default; see [`set_probes`](Self::set_probes)).
+    pub probe: ProbeSink,
 }
 
 impl<X: NicExtension> Cluster<X> {
@@ -82,8 +112,14 @@ impl<X: NicExtension> Cluster<X> {
             fabric,
             slots,
             start_times: vec![SimTime::ZERO; n as usize],
-            trace: Trace::new(),
+            probe: ProbeSink::disabled(),
         }
+    }
+
+    /// Install an observability configuration. With [`ProbeConfig::off`]
+    /// (the default) no events are recorded and nothing is allocated.
+    pub fn set_probes(&mut self, config: ProbeConfig) {
+        self.probe = ProbeSink::new(config);
     }
 
     /// Number of nodes.
@@ -155,13 +191,34 @@ impl<X: NicExtension> Cluster<X> {
         sched: &mut Scheduler<Ev<X>>,
         f: impl FnOnce(&mut dyn HostApp<X>, &mut HostCtx<'_, X>),
     ) {
+        self.with_app_from(node, sched, None, f);
+    }
+
+    /// Like [`with_app`](Self::with_app), but the host-busy span opens at
+    /// `busy_from` if given (used when cost was charged before the callback,
+    /// e.g. notice handling overhead).
+    fn with_app_from(
+        &mut self,
+        node: NodeId,
+        sched: &mut Scheduler<Ev<X>>,
+        busy_from: Option<SimTime>,
+        f: impl FnOnce(&mut dyn HostApp<X>, &mut HostCtx<'_, X>),
+    ) {
+        let now = sched.now();
         let slot = &mut self.slots[node.idx()];
+        let busy_from = busy_from.unwrap_or_else(|| slot.host.free_at().max(now));
         let mut app = slot.app.take().expect("app re-entry");
         {
-            let mut ctx = HostCtx::new(&mut slot.host, &self.params, sched.now());
+            let mut ctx = HostCtx::new(&mut slot.host, &self.params, &mut self.probe, now);
             f(app.as_mut(), &mut ctx);
         }
         slot.app = Some(app);
+        let free_after = slot.host.free_at();
+        if free_after > busy_from {
+            let dur = free_after.saturating_since(busy_from);
+            self.probe
+                .complete(busy_from, node.0, probes::HOST_BUSY, dur, "");
+        }
         self.pump_host(node, sched);
         self.pump_nic(node, sched);
     }
@@ -188,25 +245,46 @@ impl<X: NicExtension> Cluster<X> {
             debug_assert!(accepted, "token accounting out of sync");
         }
         if let Some((cost, work)) = slot.nic.lanai_start() {
-            self.trace
-                .record(now, node, TraceKind::LanaiStart(work_name(&work)));
+            self.probe
+                .begin(now, node.0, probes::LANAI, work_name(&work), 0, 0);
             sched.after(cost, Ev::LanaiDone(node, work));
         }
         if let Some((dur, job)) = slot.nic.pci_start() {
-            self.trace
-                .record(now, node, TraceKind::DmaStart { ns: dur.as_nanos() });
+            self.probe
+                .begin(now, node.0, probes::PCI_DMA, "dma", dur.as_nanos(), 0);
             sched.after(dur, Ev::PciDone(node, job));
         }
         if let Some(TxJob { pkt, cb }) = slot.nic.tx_start() {
-            self.trace.record(now, node, TraceKind::TxStart {
-                dst: pkt.dst,
-                bytes: pkt.wire_bytes(),
-            });
+            self.probe.begin(
+                now,
+                node.0,
+                probes::WIRE_TX,
+                "tx",
+                u64::from(pkt.dst.0),
+                pkt.wire_bytes(),
+            );
             let verdict = self.fabric.inject(now, &pkt);
+            let stall = self.fabric.last_inject_stall();
+            if stall > SimDuration::ZERO {
+                self.probe
+                    .complete(now, node.0, probes::LINK_STALL, stall, "");
+            }
             sched.at(verdict.src_free(), Ev::TxDrained(node, cb));
-            if let Verdict::Delivered { at, .. } = verdict {
-                let dst = pkt.dst;
-                sched.at(at, Ev::PacketArrive(dst, pkt));
+            match verdict {
+                Verdict::Delivered { at, .. } => {
+                    let dst = pkt.dst;
+                    self.probe.complete(
+                        now,
+                        dst.0,
+                        probes::WIRE_FLIGHT,
+                        at.saturating_since(now),
+                        "flight",
+                    );
+                    sched.at(at, Ev::PacketArrive(dst, pkt));
+                }
+                Verdict::Dropped { .. } => {
+                    self.probe.instant(now, node.0, probes::PKT_DROP, "", 0);
+                }
             }
         }
         let slot = &mut self.slots[node.idx()];
@@ -256,9 +334,14 @@ impl<X: NicExtension> Cluster<X> {
             Notice::ComputeDone { .. } => (gm_sim::SimDuration::ZERO, "compute_done"),
             Notice::Ext(_) => (self.params.host_send_complete, "ext"),
         };
-        self.trace.record(sched.now(), node, TraceKind::Notice(name));
-        self.slots[node.idx()].host.charge(sched.now(), cost);
-        self.with_app(node, sched, |app, ctx| app.on_notice(notice, ctx));
+        let now = sched.now();
+        self.probe.instant(now, node.0, probes::NOTICE, name, 0);
+        let slot = &mut self.slots[node.idx()];
+        let busy_from = slot.host.free_at().max(now);
+        slot.host.charge(now, cost);
+        self.with_app_from(node, sched, Some(busy_from), |app, ctx| {
+            app.on_notice(notice, ctx);
+        });
     }
 
     /// The host CPU freed up: deliver as many pending notices as possible.
@@ -297,7 +380,7 @@ impl<X: NicExtension> World for Cluster<X> {
                 slot.nic.set_now(now);
                 match call {
                     HostCall::Send(args) => {
-                        self.trace.record(now, n, TraceKind::HostCall("send"));
+                        self.probe.instant(now, n.0, probes::HOST_CALL, "send", 0);
                         if slot.nic.send_tokens_free() == 0 || !slot.parked_sends.is_empty() {
                             // Out of tokens (or behind earlier parked
                             // sends): queue client-side, replay in order
@@ -312,7 +395,7 @@ impl<X: NicExtension> World for Cluster<X> {
                         slot.nic.host_provide_recv(port, count);
                     }
                     HostCall::Ext(req) => {
-                        self.trace.record(now, n, TraceKind::HostCall("ext"));
+                        self.probe.instant(now, n.0, probes::HOST_CALL, "ext", 0);
                         let cost = slot.ext.request_cost(&req, &self.params);
                         slot.nic.host_ext_request(cost, req);
                     }
@@ -330,37 +413,48 @@ impl<X: NicExtension> World for Cluster<X> {
                 self.host_wake(n, sched);
             }
             Ev::LanaiDone(n, work) => {
+                self.probe
+                    .end(sched.now(), n.0, probes::LANAI, work_name(&work));
                 let slot = &mut self.slots[n.idx()];
                 slot.nic.set_now(sched.now());
-                self.trace
-                    .record(sched.now(), n, TraceKind::LanaiEnd(work_name(&work)));
-                let slot = &mut self.slots[n.idx()];
                 slot.nic.lanai_finish(work, &mut slot.ext);
                 self.pump_nic(n, sched);
             }
             Ev::PciDone(n, job) => {
-                self.trace.record(sched.now(), n, TraceKind::DmaEnd);
+                self.probe.end(sched.now(), n.0, probes::PCI_DMA, "dma");
                 let slot = &mut self.slots[n.idx()];
                 slot.nic.set_now(sched.now());
                 slot.nic.pci_finish(job, &mut slot.ext);
                 self.pump_nic(n, sched);
             }
             Ev::TxDrained(n, cb) => {
-                self.trace.record(sched.now(), n, TraceKind::TxEnd);
+                self.probe.end(sched.now(), n.0, probes::WIRE_TX, "tx");
                 let slot = &mut self.slots[n.idx()];
                 slot.nic.set_now(sched.now());
                 slot.nic.tx_drained(cb);
                 self.pump_nic(n, sched);
             }
             Ev::PacketArrive(n, pkt) => {
-                self.trace
-                    .record(sched.now(), n, TraceKind::RxArrive { src: pkt.src });
+                self.probe.instant(
+                    sched.now(),
+                    n.0,
+                    probes::RX_ARRIVE,
+                    "",
+                    u64::from(pkt.src.0),
+                );
                 let slot = &mut self.slots[n.idx()];
                 slot.nic.set_now(sched.now());
                 slot.nic.packet_arrived(pkt);
                 self.pump_nic(n, sched);
             }
             Ev::Timer(n, tag) => {
+                let label = match &tag {
+                    TimerTag::Conn { .. } => "conn",
+                    TimerTag::AckFlush { .. } => "ack_flush",
+                    TimerTag::Ext(_) => "ext",
+                };
+                self.probe
+                    .instant(sched.now(), n.0, probes::NIC_TIMER, label, 0);
                 let slot = &mut self.slots[n.idx()];
                 slot.nic.set_now(sched.now());
                 slot.nic.timer_fired(tag, &mut slot.ext);

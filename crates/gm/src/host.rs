@@ -9,6 +9,7 @@
 use std::collections::VecDeque;
 
 use bytes::Bytes;
+use gm_sim::probe::{ProbeId, ProbeSink};
 use gm_sim::{SimDuration, SimTime};
 use myrinet::{NodeId, PortId};
 
@@ -95,13 +96,32 @@ impl<X: NicExtension> Host<X> {
 pub struct HostCtx<'a, X: NicExtension> {
     host: &'a mut Host<X>,
     params: &'a GmParams,
+    probe: &'a mut ProbeSink,
     now: SimTime,
 }
 
 impl<'a, X: NicExtension> HostCtx<'a, X> {
     /// Internal constructor used by the cluster.
-    pub(crate) fn new(host: &'a mut Host<X>, params: &'a GmParams, now: SimTime) -> Self {
-        HostCtx { host, params, now }
+    pub(crate) fn new(
+        host: &'a mut Host<X>,
+        params: &'a GmParams,
+        probe: &'a mut ProbeSink,
+        now: SimTime,
+    ) -> Self {
+        HostCtx {
+            host,
+            params,
+            probe,
+            now,
+        }
+    }
+
+    /// Record an instant probe event on this node's timeline. Applications
+    /// use this to mark their own milestones (e.g. MPI operations) on the
+    /// `App` track; a no-op when probes are disabled.
+    pub fn mark(&mut self, id: ProbeId, label: &'static str, a: u64) {
+        let node = self.host.node().0;
+        self.probe.instant(self.now, node, id, label, a);
     }
 
     /// The event time this callback was invoked at.
@@ -198,7 +218,8 @@ mod tests {
     fn ctx_calls_emit_in_charge_order() {
         let params = GmParams::default();
         let mut h: Host<NoExt> = Host::new(NodeId(0));
-        let mut ctx = HostCtx::new(&mut h, &params, SimTime::ZERO);
+        let mut probe = ProbeSink::disabled();
+        let mut ctx = HostCtx::new(&mut h, &params, &mut probe, SimTime::ZERO);
         ctx.provide_recv(PortId(0), 2);
         ctx.send(NodeId(1), PortId(0), PortId(0), Bytes::from_static(b"x"), 7);
         assert_eq!(h.calls.len(), 2);
@@ -211,7 +232,8 @@ mod tests {
     fn compute_blocks_cpu() {
         let params = GmParams::default();
         let mut h: Host<NoExt> = Host::new(NodeId(0));
-        let mut ctx = HostCtx::new(&mut h, &params, SimTime::ZERO);
+        let mut probe = ProbeSink::disabled();
+        let mut ctx = HostCtx::new(&mut h, &params, &mut probe, SimTime::ZERO);
         ctx.compute(SimDuration::from_micros(10), 1);
         ctx.send(NodeId(1), PortId(0), PortId(0), Bytes::new(), 2);
         // The send's arrival time is after the compute block.

@@ -59,11 +59,9 @@ mod ext;
 mod host;
 mod nic;
 mod params;
-mod trace;
 
-pub use cluster::{Cluster, Ev};
+pub use cluster::{probes, Cluster, Ev};
 pub use ext::{Never, NicExtension, NoExt};
 pub use host::{Host, HostApp, HostCall, HostCtx, IdleApp};
 pub use nic::{Cb, ConnKey, NicCore, Notice, PciJob, SendArgs, TimerTag, TxJob, Work};
 pub use params::{GmParams, EAGER_LIMIT};
-pub use trace::{Trace, TraceEvent, TraceKind};

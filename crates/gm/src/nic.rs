@@ -1062,6 +1062,9 @@ impl<X: NicExtension> NicCore<X> {
         if !conn.ack_armed {
             conn.ack_armed = true;
             self.timer_reqs.push((window, TimerTag::AckFlush { conn: key }));
+        } else {
+            // A flush is already pending: this ack merges into it.
+            self.counters.bump("acks_coalesced");
         }
     }
 

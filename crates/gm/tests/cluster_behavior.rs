@@ -5,7 +5,8 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use bytes::Bytes;
-use gm::{Cluster, GmParams, HostApp, HostCtx, Never, NoExt, Notice, TraceKind};
+use gm::{probes, Cluster, GmParams, HostApp, HostCtx, Never, NoExt, Notice};
+use gm_sim::probe::{Phase, ProbeConfig, ProbeEvent, ProbeId};
 use gm_sim::{SimDuration, SimTime};
 use myrinet::{Fabric, NodeId, PortId, Topology};
 
@@ -122,28 +123,36 @@ fn trace_captures_the_full_protocol_pipeline() {
     let mut c = Cluster::new(GmParams::default(), Fabric::new(Topology::for_nodes(2), 3), |_| NoExt);
     c.set_app(NodeId(0), Box::new(Sender));
     c.set_app(NodeId(1), Box::new(Receiver));
-    c.trace.enable();
+    c.set_probes(ProbeConfig::spans());
     let mut eng = c.into_engine();
     eng.run_to_idle();
-    let events = eng.world().trace.events();
+    let events: Vec<ProbeEvent> = eng.world().probe.iter().copied().collect();
     // The pipeline appears in causal order on the sender...
-    let idx = |node: u32, pred: &dyn Fn(&TraceKind) -> bool| {
-        events
-            .iter()
-            .position(|e| e.node == NodeId(node) && pred(&e.what))
+    let idx = |node: u32, pred: &dyn Fn(&ProbeEvent) -> bool| {
+        events.iter().position(|e| e.node == node && pred(e))
     };
-    let host_call = idx(0, &|k| matches!(k, TraceKind::HostCall("send"))).expect("host call");
-    let lanai = idx(0, &|k| matches!(k, TraceKind::LanaiStart("send_token"))).expect("lanai");
-    let dma = idx(0, &|k| matches!(k, TraceKind::DmaStart { .. })).expect("sdma");
-    let tx = idx(0, &|k| matches!(k, TraceKind::TxStart { .. })).expect("tx");
+    let span_begin = |id: ProbeId, label: &'static str| {
+        move |e: &ProbeEvent| e.id == id && e.phase == Phase::Begin && e.label == label
+    };
+    let host_call = idx(0, &|e| {
+        e.id == probes::HOST_CALL && e.phase == Phase::Mark && e.label == "send"
+    })
+    .expect("host call");
+    let lanai = idx(0, &span_begin(probes::LANAI, "send_token")).expect("lanai");
+    let dma = idx(0, &span_begin(probes::PCI_DMA, "dma")).expect("sdma");
+    let tx = idx(0, &span_begin(probes::WIRE_TX, "tx")).expect("tx");
     assert!(host_call < lanai && lanai < dma && dma < tx);
     // ...and the receiver sees arrival, then its own notice.
-    let rx = idx(1, &|k| matches!(k, TraceKind::RxArrive { .. })).expect("rx");
-    let notice = idx(1, &|k| matches!(k, TraceKind::Notice("recv"))).expect("notice");
+    let rx = idx(1, &|e| e.id == probes::RX_ARRIVE && e.phase == Phase::Mark).expect("rx");
+    let notice = idx(1, &|e| {
+        e.id == probes::NOTICE && e.phase == Phase::Mark && e.label == "recv"
+    })
+    .expect("notice");
     assert!(rx < notice);
-    // Timestamps never regress.
+    // Sequence numbers never regress (Complete spans open in the past, so
+    // `time` alone is not monotone — `seq` is the deterministic order).
     for w in events.windows(2) {
-        assert!(w[0].time <= w[1].time);
+        assert!(w[0].seq < w[1].seq);
     }
 }
 

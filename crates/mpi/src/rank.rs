@@ -28,6 +28,14 @@ use nic_mcast::{McastExt, McastNotice, McastRequest, SpanningTree, TreeShape};
 use crate::msg::{barrier_tag, tag, untag, Ctx, GroupSetup, BCAST_PORT, MPI_PORT};
 use crate::stats::SharedStats;
 
+/// App-track probe points for the MPI layer.
+pub mod probes {
+    use gm_sim::probe::{ProbeId, Track};
+
+    /// A rank entered an MPI operation (label = op kind, payload = iteration).
+    pub const MPI_OP: ProbeId = ProbeId::new("mpi_op", Track::App);
+}
+
 /// One MPI operation in a rank program.
 #[derive(Clone, Debug)]
 pub enum MpiOp {
@@ -317,6 +325,15 @@ impl RankApp {
                 return;
             }
             let op = self.ops[self.pc].clone();
+            let label = match &op {
+                MpiOp::Barrier => "barrier",
+                MpiOp::Compute(_) => "compute",
+                MpiOp::SkewUniform { .. } => "skew",
+                MpiOp::Bcast { .. } => "bcast",
+                MpiOp::Send { .. } => "send",
+                MpiOp::Recv { .. } => "recv",
+            };
+            ctx.mark(probes::MPI_OP, label, self.iter as u64);
             let advanced = match op {
                 MpiOp::Barrier => self.op_barrier(ctx),
                 MpiOp::Compute(d) => {

@@ -2,7 +2,7 @@
 //! completion, and returns the collective measurements.
 
 use gm::{Cluster, GmParams, EAGER_LIMIT};
-use gm_sim::{OnlineStats, SimDuration, SimTime};
+use gm_sim::{Metrics, OnlineStats, SimDuration, SimTime};
 use myrinet::{Fabric, FaultPlan, NetParams, NodeId, Topology};
 use nic_mcast::{shape_for_size, McastConfig, McastExt, TreeShape};
 
@@ -121,6 +121,9 @@ pub struct MpiOutput {
     pub end_time: SimTime,
     /// Events dispatched.
     pub events: u64,
+    /// Counter snapshot: NIC and fabric counters summed over the run under
+    /// the `nic.` / `fabric.` prefixes, plus `engine.events`.
+    pub metrics: Metrics,
 }
 
 /// Execute `run` to completion.
@@ -230,6 +233,16 @@ pub fn execute_mpi(run: &MpiRun) -> MpiOutput {
         s.bcasts_completed, expected,
         "every rank must complete every broadcast"
     );
+    let mut metrics = Metrics::new();
+    for &r in &comm {
+        for (name, v) in eng.world().nic(NodeId(r)).counters.iter() {
+            metrics.add("nic", name, v);
+        }
+    }
+    for (name, v) in eng.world().fabric().counters().iter() {
+        metrics.add("fabric", name, v);
+    }
+    metrics.set("engine", "events", eng.events_handled());
     MpiOutput {
         latency: s.latencies(),
         bcast_cpu: s.bcast_cpu.clone(),
@@ -238,5 +251,6 @@ pub fn execute_mpi(run: &MpiRun) -> MpiOutput {
         barrier_round: s.barrier_round(),
         end_time: eng.now(),
         events: eng.events_handled(),
+        metrics,
     }
 }

@@ -82,6 +82,9 @@ pub struct Fabric {
     busy_until: Vec<SimTime>,
     /// Accumulated serialization time per link (for utilization reports).
     busy_time: Vec<SimDuration>,
+    /// Total per-hop contention stall of the most recent `inject` (time the
+    /// head spent waiting for busy links along the route).
+    last_stall: SimDuration,
     faults: FaultPlan,
     rng: DetRng,
     counters: Counters,
@@ -103,6 +106,7 @@ impl Fabric {
             params,
             busy_until: vec![SimTime::ZERO; n_links],
             busy_time: vec![SimDuration::ZERO; n_links],
+            last_stall: SimDuration::ZERO,
             faults,
             rng: DetRng::new(seed, "fabric-faults"),
             counters: Counters::new(),
@@ -137,6 +141,14 @@ impl Fabric {
     /// Accumulated serialization time on link `id`.
     pub fn link_busy(&self, id: crate::topology::LinkId) -> SimDuration {
         self.busy_time[id.idx()]
+    }
+
+    /// Total contention stall of the most recent [`inject`](Self::inject):
+    /// how long the packet's head waited for busy links along its route.
+    /// Zero on an unloaded path. Read by the cluster's probe layer right
+    /// after injecting to emit per-packet contention spans.
+    pub fn last_inject_stall(&self) -> SimDuration {
+        self.last_stall
     }
 
     /// The busiest link and its accumulated serialization time.
@@ -180,8 +192,10 @@ impl Fabric {
         // Head propagation with per-link contention.
         let mut head = now;
         let mut src_free = SimTime::ZERO;
+        let mut stall = SimDuration::ZERO;
         for (i, link) in route.iter().enumerate() {
             let start = head.max(self.busy_until[link.idx()]);
+            stall += start.saturating_since(head);
             self.busy_until[link.idx()] = start + ser;
             self.busy_time[link.idx()] += ser;
             if i == 0 {
@@ -195,6 +209,10 @@ impl Fabric {
             }
         }
         let delivered_at = head + ser;
+        self.last_stall = stall;
+        if stall > SimDuration::ZERO {
+            self.counters.add("stall_ns", stall.as_nanos());
+        }
 
         self.counters.add("wire_bytes", pkt.wire_bytes());
         let draw = self.rng.unit();

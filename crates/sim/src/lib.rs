@@ -37,12 +37,14 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod probe;
 mod queue;
 mod rng;
 mod stats;
 mod time;
 
 pub use engine::{dispatch_stats, Engine, RunOutcome, Scheduler, World};
+pub use probe::{Metrics, ProbeConfig, ProbeEvent, ProbeSink};
 pub use queue::{default_kind as default_queue_kind, EventQueue, QueueKind};
 pub use rng::{splitmix64, DetRng};
 pub use stats::{BusyTracker, Counters, Histogram, OnlineStats};

@@ -27,7 +27,7 @@ use std::path::{Path, PathBuf};
 use lexer::{lex, Comment, Tok, TokKind};
 use rules::{
     is_known_rule, rule_info, ALLOW_HYGIENE, DET_HASH, DET_THREAD, DET_WALLTIME, ERROR_UNWRAP,
-    HOT_ALLOC, UNITS,
+    HOT_ALLOC, PROBE_UNIQUE, UNITS,
 };
 
 // ---------------------------------------------------------------------------
@@ -125,6 +125,15 @@ pub struct SuppressionRec {
     pub reason: String,
 }
 
+/// One `ProbeId::new("<name>", ...)` definition site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProbeDef {
+    /// The probe's static name (string-literal argument).
+    pub name: String,
+    /// 1-based line of the definition.
+    pub line: u32,
+}
+
 /// Result of linting one file.
 #[derive(Debug, Default)]
 pub struct FileLint {
@@ -132,6 +141,9 @@ pub struct FileLint {
     pub diagnostics: Vec<Diagnostic>,
     /// Justified suppressions that fired.
     pub suppressions: Vec<SuppressionRec>,
+    /// Probe definitions seen (first occurrence per name; feeds the
+    /// workspace-wide `probe-unique` pass).
+    pub probe_defs: Vec<ProbeDef>,
 }
 
 /// Result of a whole-tree scan.
@@ -373,6 +385,53 @@ fn hot_spans(toks: &[Tok], hot_lines: &[u32], diags: &mut Vec<RawDiag>) -> Vec<H
 }
 
 // ---------------------------------------------------------------------------
+// Probe definitions
+// ---------------------------------------------------------------------------
+
+/// Collect `ProbeId::new("<name>", ...)` definition sites outside test
+/// regions. Duplicates *within* the file are reported here; the first
+/// occurrence of each name is returned for the workspace-wide pass.
+fn collect_probe_defs(
+    toks: &[Tok],
+    test_ranges: &[(u32, u32)],
+    diags: &mut Vec<RawDiag>,
+) -> Vec<ProbeDef> {
+    let mut defs: Vec<ProbeDef> = Vec::new();
+    for i in 0..toks.len() {
+        if !(ident_at(toks, i, "ProbeId")
+            && punct_at(toks, i + 1, ':')
+            && punct_at(toks, i + 2, ':')
+            && ident_at(toks, i + 3, "new")
+            && punct_at(toks, i + 4, '('))
+        {
+            continue;
+        }
+        let Some(arg) = toks.get(i + 5).filter(|a| a.kind == TokKind::Str) else {
+            continue;
+        };
+        if in_ranges(test_ranges, toks[i].line) {
+            continue;
+        }
+        let name = arg.text.clone();
+        match defs.iter().find(|d| d.name == name) {
+            Some(first) => diags.push(RawDiag {
+                rule: PROBE_UNIQUE,
+                line: toks[i].line,
+                message: format!(
+                    "ProbeId name \"{name}\" already defined on line {}",
+                    first.line
+                ),
+            }),
+            None => defs.push(ProbeDef {
+                name,
+                line: toks[i].line,
+            }),
+        }
+    }
+    defs
+}
+
+// ---------------------------------------------------------------------------
 // Rule scanning
 // ---------------------------------------------------------------------------
 
@@ -573,6 +632,7 @@ pub fn lint_source(file: &str, src: &str, class: &FileClass) -> FileLint {
         hot_spans(&lexed.tokens, &hot_lines, &mut raw)
     };
     scan_rules(&lexed.tokens, class, &test_ranges, &hot, &mut raw);
+    let probe_defs = collect_probe_defs(&lexed.tokens, &test_ranges, &mut raw);
 
     // Apply suppressions: a directive covers its own line and the next one.
     let mut kept: Vec<RawDiag> = Vec::new();
@@ -651,6 +711,7 @@ pub fn lint_source(file: &str, src: &str, class: &FileClass) -> FileLint {
     FileLint {
         diagnostics,
         suppressions,
+        probe_defs,
     }
 }
 
@@ -690,6 +751,10 @@ pub fn lint_workspace(root: &Path) -> Report {
     collect_rs_files(root, &mut files);
     let mut report = Report::default();
     let mut seen: BTreeSet<String> = BTreeSet::new();
+    // First definition site of each probe name across the tree, for the
+    // workspace-wide `probe-unique` pass (cross-file duplicates cannot be
+    // caught per-file and are not suppressible).
+    let mut probe_names: Vec<(String, String, u32)> = Vec::new();
     for path in files {
         let rel = path
             .strip_prefix(root)
@@ -709,6 +774,24 @@ pub fn lint_workspace(root: &Path) -> Report {
         let mut fl = lint_source(&rel, &src, &class);
         report.diagnostics.append(&mut fl.diagnostics);
         report.suppressions.append(&mut fl.suppressions);
+        for def in fl.probe_defs {
+            match probe_names.iter().find(|(n, _, _)| *n == def.name) {
+                Some((_, first_file, first_line)) => report.diagnostics.push(Diagnostic {
+                    rule: PROBE_UNIQUE,
+                    file: rel.clone(),
+                    line: def.line,
+                    message: format!(
+                        "ProbeId name \"{}\" already defined at {first_file}:{first_line}",
+                        def.name
+                    ),
+                    snippet: src
+                        .lines()
+                        .nth(def.line.saturating_sub(1) as usize)
+                        .map_or_else(String::new, |s| s.trim().to_string()),
+                }),
+                None => probe_names.push((def.name, rel.clone(), def.line)),
+            }
+        }
     }
     report
         .diagnostics
@@ -851,6 +934,44 @@ fn cold() -> Vec<u32> { Vec::new() }
         let d = strict(src);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].rule, "allow-hygiene");
+    }
+
+    #[test]
+    fn duplicate_probe_name_in_one_file_fires() {
+        let src = "\
+const A: ProbeId = ProbeId::new(\"wire_tx\", Track::Wire);
+const B: ProbeId = ProbeId::new(\"wire_tx\", Track::Host);
+";
+        let d = strict(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "probe-unique");
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn unique_probe_names_are_collected_not_flagged() {
+        let src = "\
+const A: ProbeId = ProbeId::new(\"wire_tx\", Track::Wire);
+const B: ProbeId = ProbeId::new(\"pci_dma\", Track::Pci);
+";
+        let out = lint_source("t.rs", src, &FileClass::strict());
+        assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+        let names: Vec<&str> = out.probe_defs.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["wire_tx", "pci_dma"]);
+    }
+
+    #[test]
+    fn probe_defs_in_test_regions_are_ignored() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    const A: ProbeId = ProbeId::new(\"wire_tx\", Track::Wire);
+    const B: ProbeId = ProbeId::new(\"wire_tx\", Track::Host);
+}
+";
+        let out = lint_source("t.rs", src, &FileClass::strict());
+        assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+        assert!(out.probe_defs.is_empty());
     }
 
     #[test]

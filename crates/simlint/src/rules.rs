@@ -13,6 +13,9 @@
 //!   `// simlint::hot` must stay allocation-free (locks in PR 1's perf work).
 //! * **E — error discipline**: [`ERROR_UNWRAP`]. Simulator code panics only
 //!   through `expect("<named invariant>")`, never bare `unwrap()`.
+//! * **O — observability**: [`PROBE_UNIQUE`]. `ProbeId` names key Perfetto
+//!   categories, golden traces, and latency attribution; a duplicate name
+//!   silently merges two probe points into one timeline.
 //!
 //! Plus [`ALLOW_HYGIENE`], which polices the suppression mechanism itself.
 
@@ -39,6 +42,8 @@ pub const UNITS: &str = "units";
 pub const HOT_ALLOC: &str = "hot-alloc";
 /// E: no `unwrap()`; `expect` must name its invariant in a string literal.
 pub const ERROR_UNWRAP: &str = "error-unwrap";
+/// O: `ProbeId::new("<name>", ...)` names must be unique workspace-wide.
+pub const PROBE_UNIQUE: &str = "probe-unique";
 /// Suppressions must name a known rule, carry a reason, and actually fire.
 pub const ALLOW_HYGIENE: &str = "allow-hygiene";
 
@@ -73,6 +78,11 @@ pub const RULES: &[RuleInfo] = &[
         name: ERROR_UNWRAP,
         summary: "unwrap()/anonymous expect in non-test simulator code",
         help: "return a typed error, or use expect(\"<invariant>\") with a message naming the invariant that makes the panic unreachable",
+    },
+    RuleInfo {
+        name: PROBE_UNIQUE,
+        summary: "duplicate ProbeId name — probe identities must be unique workspace-wide",
+        help: "probe events are keyed by their static name (Perfetto categories, golden traces, attribution); pick a name no other ProbeId::new(...) uses",
     },
     RuleInfo {
         name: ALLOW_HYGIENE,

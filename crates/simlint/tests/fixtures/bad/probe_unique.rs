@@ -1,0 +1,5 @@
+// Two probe points with the same static name: their events merge into one
+// Perfetto category and the golden traces cannot tell them apart.
+
+pub const WIRE_TX: ProbeId = ProbeId::new("fixture_tx", Track::Wire);
+pub const WIRE_RETX: ProbeId = ProbeId::new("fixture_tx", Track::Wire);

@@ -6,9 +6,8 @@
 //!
 //! Run with: `cargo run --release --example clos_scale`
 
-use myri_mcast::gm::GmParams;
-use myri_mcast::mcast::{execute, shape_for_size, McastMode, McastRun, TreeShape};
-use myri_mcast::net::{NetParams, TopoKind, Topology};
+use myri_mcast::net::{TopoKind, Topology};
+use myri_mcast::{McastMode, Scenario, TreeShape};
 
 fn main() {
     println!("NIC-based vs host-based multicast at scale (256-byte messages)\n");
@@ -22,27 +21,23 @@ fn main() {
             TopoKind::SingleCrossbar => "crossbar".to_string(),
             TopoKind::Clos { leaves, spines, .. } => format!("clos {leaves}x{spines}"),
         };
-        // Cross-leaf routes have 4 hops in a two-level Clos.
-        let hops = if matches!(topo.kind(), TopoKind::SingleCrossbar) {
-            2
-        } else {
-            4
-        };
-        let shape = shape_for_size(
-            256,
-            n as usize - 1,
-            &GmParams::default(),
-            &NetParams::default(),
-            hops,
-        );
+        // TreeShape::auto() accounts for route depth (4 hops cross-leaf in
+        // a two-level Clos) when picking the size-adapted tree.
         let measure = |mode: McastMode, shape: TreeShape| {
-            let mut run = McastRun::new(n, 256, mode, shape);
-            run.warmup = 3;
-            run.iters = 30;
-            execute(&run).latency.mean()
+            let s = match mode {
+                McastMode::NicBased => Scenario::nic_based(n),
+                McastMode::HostBased => Scenario::host_based(n),
+            };
+            s.size(256)
+                .tree(shape)
+                .warmup(3)
+                .iters(30)
+                .run()
+                .latency
+                .mean()
         };
         let hb = measure(McastMode::HostBased, TreeShape::Binomial);
-        let nb = measure(McastMode::NicBased, shape);
+        let nb = measure(McastMode::NicBased, TreeShape::auto());
         println!(
             "{n:>6}  {kind:>10}  {:>9.2} us  {:>9.2} us  {:>7.2}x",
             hb,

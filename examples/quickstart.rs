@@ -3,9 +3,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use myri_mcast::gm::GmParams;
-use myri_mcast::mcast::{execute, shape_for_size, McastMode, McastRun, TreeShape};
-use myri_mcast::net::NetParams;
+use myri_mcast::{Scenario, TreeShape};
 
 fn main() {
     println!("NIC-based vs host-based multicast, 16 nodes (simulated Myrinet/GM-2)\n");
@@ -14,27 +12,19 @@ fn main() {
         "size", "host-based", "NIC-based", "speedup", "NB tree (h/fan)"
     );
     for size in [8usize, 128, 1024, 4096, 16384] {
-        // The host builds the spanning tree: binomial for the traditional
-        // scheme, size-adapted (postal-optimal or pipeline k-ary) for the
-        // NIC-based one.
-        let nb_shape = shape_for_size(size, 15, &GmParams::default(), &NetParams::default(), 2);
-
-        let mut hb = McastRun::new(16, size, McastMode::HostBased, TreeShape::Binomial);
-        hb.warmup = 5;
-        hb.iters = 50;
-        let hb_out = execute(&hb);
-
-        let mut nb = McastRun::new(16, size, McastMode::NicBased, nb_shape);
-        nb.warmup = 5;
-        nb.iters = 50;
-        let nb_out = execute(&nb);
-
+        let measure = |s: Scenario, shape: TreeShape| {
+            s.size(size).tree(shape).warmup(5).iters(50).run()
+        };
+        // Binomial for the traditional scheme; TreeShape::auto() resolves to
+        // the size-adapted (postal-optimal or pipeline k-ary) tree.
+        let hb = measure(Scenario::host_based(16), TreeShape::Binomial);
+        let nb = measure(Scenario::nic_based(16), TreeShape::auto());
         println!(
             "{size:>8}  {:>9.2} us  {:>9.2} us  {:>7.2}x  {:>13}",
-            hb_out.latency.mean(),
-            nb_out.latency.mean(),
-            hb_out.latency.mean() / nb_out.latency.mean(),
-            format!("{}/{:.1}", nb_out.height, nb_out.avg_fanout),
+            hb.latency.mean(),
+            nb.latency.mean(),
+            hb.latency.mean() / nb.latency.mean(),
+            format!("{}/{:.1}", nb.height, nb.avg_fanout),
         );
     }
     println!(

@@ -9,8 +9,8 @@
 //!
 //! Run with: `cargo run --release --example reliable_under_loss`
 
-use myri_mcast::mcast::{execute, McastMode, McastRun, TreeShape};
 use myri_mcast::net::{DropRule, FaultPlan, NodeId};
+use myri_mcast::{Scenario, TreeShape};
 
 fn main() {
     println!("NIC-based multicast on a lossy fabric (8 nodes, 2 KB messages)\n");
@@ -20,14 +20,15 @@ fn main() {
     );
 
     let base = || {
-        let mut run = McastRun::new(8, 2048, McastMode::NicBased, TreeShape::Binomial);
-        run.warmup = 3;
-        run.iters = 50;
-        run
+        Scenario::nic_based(8)
+            .size(2048)
+            .tree(TreeShape::Binomial)
+            .warmup(3)
+            .iters(50)
     };
 
     // Clean network.
-    let clean = execute(&base());
+    let clean = base().run();
     println!(
         "{:>18}  {:>9.2} us  {:>14}  {:>10}",
         "none",
@@ -39,9 +40,7 @@ fn main() {
 
     // Random bit-error-style loss.
     for loss in [0.005f64, 0.02, 0.05] {
-        let mut run = base();
-        run.faults = FaultPlan::with_loss(loss);
-        let out = execute(&run);
+        let out = base().loss(loss).run();
         println!(
             "{:>17}%  {:>9.2} us  {:>14}  {:>10}",
             loss * 100.0,
@@ -53,17 +52,17 @@ fn main() {
     }
 
     // A targeted burst: drop the next 5 data packets entering node 3.
-    let mut run = base();
-    run.faults = FaultPlan {
-        rules: vec![DropRule {
-            dst: Some(NodeId(3)),
-            data: Some(true),
-            count: 5,
-            ..DropRule::default()
-        }],
-        ..FaultPlan::default()
-    };
-    let out = execute(&run);
+    let out = base()
+        .faults(FaultPlan {
+            rules: vec![DropRule {
+                dst: Some(NodeId(3)),
+                data: Some(true),
+                count: 5,
+                ..DropRule::default()
+            }],
+            ..FaultPlan::default()
+        })
+        .run();
     println!(
         "{:>18}  {:>9.2} us  {:>14}  {:>10}",
         "5-pkt burst @n3",

@@ -35,7 +35,15 @@ run clippy --workspace --all-targets "${CARGO_FLAGS[@]}" -- -D warnings
 
 # Blocking determinism/unit-safety gate (see DESIGN.md "Static invariants").
 # Writes the machine-readable report to results/simlint_report.json.
+# Includes the probe-unique rule: ProbeId names stay unique workspace-wide.
 run run -q -p simlint "${CARGO_FLAGS[@]}" -- --workspace
 echo "ci: simlint report at results/simlint_report.json"
+
+# Observability gate: one probed run must export a Perfetto-loadable Chrome
+# trace-event document (--check re-parses it and validates ph/ts/pid/tid and
+# B/E balance) with the attribution buckets summing to the measured mean.
+run run -q --release -p bench "${CARGO_FLAGS[@]}" --bin trace_explore -- \
+  --nodes 16 --size 4096 --mode nic --shape adaptive --check
+echo "ci: trace schema OK (results/trace_nic_16n_4096B.json)"
 
 echo "ci: all green"

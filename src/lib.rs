@@ -16,20 +16,37 @@
 //! # Quickstart
 //!
 //! ```
-//! use myri_mcast::mcast::{execute, McastMode, McastRun, TreeShape};
+//! use myri_mcast::{ProbeConfig, Scenario, TreeShape};
 //!
 //! // One multicast of 1 KB from node 0 to 7 destinations, measured over
-//! // 10 iterations, with the paper's NIC-based scheme.
-//! let mut run = McastRun::new(8, 1024, McastMode::NicBased, TreeShape::Binomial);
-//! run.warmup = 2;
-//! run.iters = 10;
-//! let out = execute(&run);
-//! println!("multicast latency: {:.2} us", out.latency.mean());
-//! assert!(out.latency.mean() > 0.0);
+//! // 10 iterations, with the paper's NIC-based scheme and span probes on.
+//! let report = Scenario::nic_based(8)
+//!     .size(1024)
+//!     .tree(TreeShape::auto())
+//!     .warmup(2)
+//!     .iters(10)
+//!     .probes(ProbeConfig::spans())
+//!     .run();
+//! println!("multicast latency: {:.2} us", report.latency.mean());
+//! assert!(report.latency.mean() > 0.0);
+//! assert!(!report.probe.is_empty());
 //! ```
 //!
-//! See `examples/` for runnable scenarios and `crates/bench/src/bin/` for
-//! the binaries that regenerate every figure of the paper.
+//! [`Scenario::build`] validates the configuration and resolves
+//! [`TreeShape::auto`] to the size-adapted tree the paper's host library
+//! would pick; [`Report`] derefs to the raw run output and additionally
+//! carries the counter snapshot ([`Report::metrics`]), the recorded probe
+//! events, and — when probes are enabled — a latency [`attribution`]
+//! (host/NIC/PCI/serialization/contention/retransmission buckets).
+//! Export timelines with [`sim::probe::perfetto::chrome_trace_json`] and
+//! open them in Perfetto.
+//!
+//! See `examples/` for runnable scenarios (start with
+//! `examples/quickstart.rs`) and `crates/bench/src/bin/` for the binaries
+//! that regenerate every figure of the paper (`trace_explore` dumps a full
+//! Perfetto timeline plus the attribution table for one configuration).
+//!
+//! [`attribution`]: sim::probe::attribution
 
 /// The discrete-event simulation engine.
 pub use gm_sim as sim;
@@ -45,3 +62,11 @@ pub use nic_mcast as mcast;
 
 /// The MPICH-GM-analogue MPI layer.
 pub use gm_mpi as mpi;
+
+// The curated surface: everything a typical experiment needs, importable
+// from the crate root.
+pub use gm::GmParams;
+pub use gm_sim::probe::ProbeConfig;
+pub use nic_mcast::{
+    BuiltScenario, McastMode, Report, Scenario, ScenarioError, Sweep, TreeShape,
+};

@@ -1,26 +1,34 @@
 //! Workspace-level integration tests: every layer of the stack exercised
 //! together, from the event engine up through the MPI library.
 
-use myri_mcast::gm::GmParams;
-use myri_mcast::mcast::{
-    execute, execute_max_over_probes, shape_for_size, AckMode, McastMode, McastRun, TreeShape,
-};
+use myri_mcast::mcast::{execute_max_over_probes, AckMode, McastMode, McastRun, TreeShape};
 use myri_mcast::mpi::{execute_mpi, BcastImpl, MpiOp, MpiRun};
-use myri_mcast::net::{FaultPlan, NetParams};
+use myri_mcast::net::FaultPlan;
 use myri_mcast::sim::SimDuration;
+use myri_mcast::Scenario;
+
+fn scenario(mode: McastMode, n: u32) -> Scenario {
+    match mode {
+        McastMode::NicBased => Scenario::nic_based(n),
+        McastMode::HostBased => Scenario::host_based(n),
+    }
+}
 
 #[test]
 fn nic_beats_host_across_the_size_spectrum_16_nodes() {
     for size in [8usize, 256, 1024, 8192, 16384] {
-        let shape = shape_for_size(size, 15, &GmParams::default(), &NetParams::default(), 2);
         let m = |mode: McastMode, shape: TreeShape| {
-            let mut run = McastRun::new(16, size, mode, shape);
-            run.warmup = 3;
-            run.iters = 20;
-            execute(&run).latency.mean()
+            scenario(mode, 16)
+                .size(size)
+                .tree(shape)
+                .warmup(3)
+                .iters(20)
+                .run()
+                .latency
+                .mean()
         };
         let hb = m(McastMode::HostBased, TreeShape::Binomial);
-        let nb = m(McastMode::NicBased, shape);
+        let nb = m(McastMode::NicBased, TreeShape::auto());
         assert!(
             nb < hb,
             "size {size}: NIC-based ({nb:.1}us) must beat host-based ({hb:.1}us)"
@@ -32,11 +40,15 @@ fn nic_beats_host_across_the_size_spectrum_16_nodes() {
 fn multisend_improvement_shape_matches_fig3() {
     // Improvement factor decays with size and levels off around 1.
     let m = |size: usize, mode: McastMode| {
-        let mut run = McastRun::new(5, size, mode, TreeShape::Flat);
-        run.ack = AckMode::NicAck;
-        run.warmup = 3;
-        run.iters = 20;
-        execute(&run).latency.mean()
+        scenario(mode, 5)
+            .size(size)
+            .tree(TreeShape::Flat)
+            .ack(AckMode::NicAck)
+            .warmup(3)
+            .iters(20)
+            .run()
+            .latency
+            .mean()
     };
     let small = m(8, McastMode::HostBased) / m(8, McastMode::NicBased);
     let mid = m(512, McastMode::HostBased) / m(512, McastMode::NicBased);
@@ -52,14 +64,17 @@ fn multisend_improvement_shape_matches_fig3() {
 #[test]
 fn gm_level_dip_exists_at_2_to_4_kb() {
     let factor = |size: usize| {
-        let shape = shape_for_size(size, 15, &GmParams::default(), &NetParams::default(), 2);
         let m = |mode: McastMode, s: TreeShape| {
-            let mut run = McastRun::new(16, size, mode, s);
-            run.warmup = 3;
-            run.iters = 15;
-            execute(&run).latency.mean()
+            scenario(mode, 16)
+                .size(size)
+                .tree(s)
+                .warmup(3)
+                .iters(15)
+                .run()
+                .latency
+                .mean()
         };
-        m(McastMode::HostBased, TreeShape::Binomial) / m(McastMode::NicBased, shape)
+        m(McastMode::HostBased, TreeShape::Binomial) / m(McastMode::NicBased, TreeShape::auto())
     };
     let small = factor(64);
     let dip = factor(4096).min(factor(2048));
@@ -72,25 +87,31 @@ fn gm_level_dip_exists_at_2_to_4_kb() {
 
 #[test]
 fn max_over_probes_dominates_single_probe() {
-    let mut run = McastRun::new(8, 4096, McastMode::NicBased, TreeShape::Binomial);
-    run.warmup = 2;
-    run.iters = 10;
-    let single = execute(&run).latency.mean();
-    let max = execute_max_over_probes(&run).latency.mean();
+    let built = Scenario::nic_based(8)
+        .size(4096)
+        .tree(TreeShape::Binomial)
+        .warmup(2)
+        .iters(10)
+        .build()
+        .expect("valid scenario");
+    let max = execute_max_over_probes(built.spec()).latency.mean();
+    let single = built.run().latency.mean();
     assert!(max >= single * 0.999, "max {max:.2} vs single {single:.2}");
 }
 
 #[test]
 fn multicast_survives_combined_loss_and_corruption() {
-    let mut run = McastRun::new(12, 6000, McastMode::NicBased, TreeShape::Binomial);
-    run.warmup = 2;
-    run.iters = 25;
-    run.faults = FaultPlan {
-        drop_prob: 0.02,
-        corrupt_prob: 0.01,
-        rules: vec![],
-    };
-    let out = execute(&run);
+    let out = Scenario::nic_based(12)
+        .size(6000)
+        .tree(TreeShape::Binomial)
+        .warmup(2)
+        .iters(25)
+        .faults(FaultPlan {
+            drop_prob: 0.02,
+            corrupt_prob: 0.01,
+            rules: vec![],
+        })
+        .run();
     assert_eq!(out.latency.count(), 25, "all iterations delivered");
     assert!(out.retransmissions > 0);
 }
@@ -180,22 +201,24 @@ fn multicast_to_an_arbitrary_subset_of_nodes() {
     // "multicast to an arbitrary set of nodes in a system". Build a sparse
     // group on a 16-node cluster and check only members hear anything.
     use myri_mcast::net::NodeId;
-    let mut run = McastRun::new(16, 700, McastMode::NicBased, TreeShape::Binomial);
-    run.dests = vec![NodeId(2), NodeId(5), NodeId(9), NodeId(13)];
-    run.probe = NodeId(13);
-    run.warmup = 2;
-    run.iters = 10;
-    let out = execute(&run);
+    let out = Scenario::nic_based(16)
+        .size(700)
+        .tree(TreeShape::Binomial)
+        .dests(vec![NodeId(2), NodeId(5), NodeId(9), NodeId(13)])
+        .probe_node(NodeId(13))
+        .warmup(2)
+        .iters(10)
+        .run();
     assert_eq!(out.latency.count(), 10);
     // Sparse group of 5 total members: binomial height 3.
     assert!(out.height <= 3);
     // Compare against the full-cluster group: fewer members, lower latency.
-    let full = {
-        let mut r = McastRun::new(16, 700, McastMode::NicBased, TreeShape::Binomial);
-        r.warmup = 2;
-        r.iters = 10;
-        execute(&r)
-    };
+    let full = Scenario::nic_based(16)
+        .size(700)
+        .tree(TreeShape::Binomial)
+        .warmup(2)
+        .iters(10)
+        .run();
     assert!(out.latency.mean() < full.latency.mean());
 }
 
@@ -217,4 +240,22 @@ fn non_members_never_see_group_traffic() {
         assert_eq!(c.get("mcast_rx"), 0, "non-member {i} saw group traffic");
         assert_eq!(c.get("mcast_delivered"), 0);
     }
+}
+
+#[test]
+fn deprecated_execute_shim_matches_scenario() {
+    // The pre-redesign entry point still works and agrees with the builder.
+    let mut run = McastRun::new(8, 1024, McastMode::NicBased, TreeShape::Binomial);
+    run.warmup = 2;
+    run.iters = 10;
+    #[allow(deprecated)]
+    let legacy = myri_mcast::mcast::execute(&run);
+    let new = Scenario::nic_based(8)
+        .size(1024)
+        .tree(TreeShape::Binomial)
+        .warmup(2)
+        .iters(10)
+        .run();
+    assert_eq!(legacy.latency.mean().to_bits(), new.latency.mean().to_bits());
+    assert_eq!(legacy.events, new.events);
 }

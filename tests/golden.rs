@@ -4,15 +4,17 @@
 //! (and should be cross-checked against EXPERIMENTS.md when it does).
 
 use myri_mcast::gm::GmParams;
-use myri_mcast::mcast::{execute, McastMode, McastRun, TreeShape};
+use myri_mcast::mcast::{McastMode, TreeShape};
 use myri_mcast::mpi::{execute_mpi, BcastImpl, MpiRun};
 use myri_mcast::sim::SimDuration;
+use myri_mcast::Scenario;
 
 fn mcast(n: u32, size: usize, mode: McastMode, shape: TreeShape) -> f64 {
-    let mut run = McastRun::new(n, size, mode, shape);
-    run.warmup = 5;
-    run.iters = 20;
-    execute(&run).latency.mean()
+    let s = match mode {
+        McastMode::NicBased => Scenario::nic_based(n),
+        McastMode::HostBased => Scenario::host_based(n),
+    };
+    s.size(size).tree(shape).warmup(5).iters(20).run().latency.mean()
 }
 
 #[test]
@@ -39,10 +41,12 @@ fn golden_gm_level_multicast_latencies() {
 fn golden_runs_are_bit_stable() {
     // The full output (not just the mean) is identical across process runs.
     let run = || {
-        let mut r = McastRun::new(12, 2048, McastMode::NicBased, TreeShape::KAry(2));
-        r.warmup = 3;
-        r.iters = 15;
-        let out = execute(&r);
+        let out = Scenario::nic_based(12)
+            .size(2048)
+            .tree(TreeShape::KAry(2))
+            .warmup(3)
+            .iters(15)
+            .run();
         (
             out.latency.mean().to_bits(),
             out.latency_p99.to_bits(),
