@@ -5,8 +5,8 @@
 //! unmodified firmware (`NoExt`) and with the multicast extension installed
 //! (`McastExt`, groups present but idle) and print both.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Mutex;
+use std::sync::Arc;
 
 use bytes::Bytes;
 use gm::{Cluster, GmParams, HostApp, HostCtx, NicExtension, NoExt, Notice};
@@ -23,7 +23,7 @@ struct Pinger {
     warmup: u32,
     count: u32,
     t0: SimTime,
-    rtt: Rc<RefCell<OnlineStats>>,
+    rtt: Arc<Mutex<OnlineStats>>,
 }
 
 impl<X: NicExtension> HostApp<X> for Pinger {
@@ -36,7 +36,7 @@ impl<X: NicExtension> HostApp<X> for Pinger {
         if let Notice::Recv { .. } = n {
             if self.count >= self.warmup {
                 self.rtt
-                    .borrow_mut()
+                    .lock().expect("shared app state mutex poisoned")
                     .record((ctx.now() - self.t0).as_micros_f64());
             }
             self.count += 1;
@@ -66,7 +66,7 @@ impl<X: NicExtension> HostApp<X> for Echo {
 }
 
 fn pingpong_noext(size: usize) -> f64 {
-    let rtt = Rc::new(RefCell::new(OnlineStats::new()));
+    let rtt = Arc::new(Mutex::new(OnlineStats::new()));
     let mut c = Cluster::new(GmParams::default(), Fabric::new(Topology::for_nodes(2), 1), |_| NoExt);
     c.set_app(
         NodeId(0),
@@ -81,12 +81,12 @@ fn pingpong_noext(size: usize) -> f64 {
     );
     c.set_app(NodeId(1), Box::new(Echo { size }));
     c.into_engine().run_to_idle();
-    let m = rtt.borrow().mean();
+    let m = rtt.lock().expect("shared app state mutex poisoned").mean();
     m
 }
 
 fn pingpong_mcast_installed(size: usize) -> f64 {
-    let rtt = Rc::new(RefCell::new(OnlineStats::new()));
+    let rtt = Arc::new(Mutex::new(OnlineStats::new()));
     let mut c = Cluster::new(
         GmParams::default(),
         Fabric::new(Topology::for_nodes(2), 1),
@@ -126,7 +126,7 @@ fn pingpong_mcast_installed(size: usize) -> f64 {
     );
     c.set_app(NodeId(1), Box::new(Echo { size }));
     c.into_engine().run_to_idle();
-    let m = rtt.borrow().mean();
+    let m = rtt.lock().expect("shared app state mutex poisoned").mean();
     m
 }
 

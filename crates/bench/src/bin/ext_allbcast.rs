@@ -8,8 +8,8 @@
 //! leaf, with no central credit manager to congest (the FM/MC weakness from
 //! Figure 1).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Mutex;
+use std::sync::Arc;
 
 use bench::{factor, par_map, us, CliOpts, Table};
 use bytes::Bytes;
@@ -31,13 +31,13 @@ fn trees(n: u32) -> Vec<SpanningTree> {
 }
 
 /// `completion[node]` = time the node held all n-1 foreign messages.
-type Completion = Rc<RefCell<Vec<SimTime>>>;
+type Completion = Arc<Mutex<Vec<SimTime>>>;
 
 struct NbAll {
     me: NodeId,
     n: u32,
     size: usize,
-    trees: Rc<Vec<SpanningTree>>,
+    trees: Arc<Vec<SpanningTree>>,
     ready: u32,
     got: u32,
     done: Completion,
@@ -75,7 +75,7 @@ impl HostApp<McastExt> for NbAll {
                 assert!(data.iter().all(|&b| b == tag as u8));
                 self.got += 1;
                 if self.got == self.n - 1 {
-                    self.done.borrow_mut()[self.me.idx()] = ctx.now();
+                    self.done.lock().expect("shared app state mutex poisoned")[self.me.idx()] = ctx.now();
                 }
             }
             _ => {}
@@ -87,7 +87,7 @@ struct HbAll {
     me: NodeId,
     n: u32,
     size: usize,
-    trees: Rc<Vec<SpanningTree>>,
+    trees: Arc<Vec<SpanningTree>>,
     got: u32,
     done: Completion,
 }
@@ -113,7 +113,7 @@ impl HostApp<McastExt> for HbAll {
             self.forward(ctx, root, &data);
             self.got += 1;
             if self.got == self.n - 1 {
-                self.done.borrow_mut()[self.me.idx()] = ctx.now();
+                self.done.lock().expect("shared app state mutex poisoned")[self.me.idx()] = ctx.now();
             }
         }
     }
@@ -121,8 +121,8 @@ impl HostApp<McastExt> for HbAll {
 
 fn makespan(n: u32, size: usize, nic: bool) -> f64 {
     let fabric = Fabric::new(Topology::for_nodes(n), 23);
-    let shared = Rc::new(trees(n));
-    let done: Completion = Rc::new(RefCell::new(vec![SimTime::ZERO; n as usize]));
+    let shared = Arc::new(trees(n));
+    let done: Completion = Arc::new(Mutex::new(vec![SimTime::ZERO; n as usize]));
     let mut cluster = Cluster::new(GmParams::default(), fabric, |_| McastExt::new());
     for i in 0..n {
         if nic {
@@ -155,7 +155,7 @@ fn makespan(n: u32, size: usize, nic: bool) -> f64 {
     let mut eng = cluster.into_engine();
     let outcome = eng.run(SimTime::MAX, 2_000_000_000);
     assert_eq!(outcome, gm_sim::RunOutcome::Idle, "all-bcast hung");
-    let d = done.borrow();
+    let d = done.lock().expect("shared app state mutex poisoned");
     assert!(d.iter().all(|&t| t > SimTime::ZERO), "someone never finished");
     d.iter().map(|t| t.as_micros_f64()).fold(0.0, f64::max)
 }

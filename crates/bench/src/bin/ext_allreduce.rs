@@ -3,8 +3,8 @@
 //! against a host-level reduce-then-broadcast over the same binomial tree
 //! (the classic MPI implementation).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Mutex;
+use std::sync::Arc;
 
 use bench::{par_map, us, CliOpts, Table};
 use bytes::Bytes;
@@ -20,8 +20,8 @@ const GID: GroupId = GroupId(1);
 /// Steady-state round time measured at node 0 between completion `warmup`
 /// and completion `rounds`.
 struct Timing {
-    t_start: Rc<RefCell<SimTime>>,
-    t_end: Rc<RefCell<SimTime>>,
+    t_start: Arc<Mutex<SimTime>>,
+    t_end: Arc<Mutex<SimTime>>,
 }
 
 // --- NIC-level allreduce loop -----------------------------------------------
@@ -32,7 +32,7 @@ struct NicReduceLoop {
     rounds: u32,
     round: u32,
     warmup: u32,
-    timing: Rc<Timing>,
+    timing: Arc<Timing>,
 }
 
 impl HostApp<McastExt> for NicReduceLoop {
@@ -62,10 +62,10 @@ impl HostApp<McastExt> for NicReduceLoop {
                 self.round += 1;
                 if self.me.0 == 0 {
                     if self.round == self.warmup {
-                        *self.timing.t_start.borrow_mut() = ctx.now();
+                        *self.timing.t_start.lock().expect("shared app state mutex poisoned") = ctx.now();
                     }
                     if self.round == self.rounds {
-                        *self.timing.t_end.borrow_mut() = ctx.now();
+                        *self.timing.t_end.lock().expect("shared app state mutex poisoned") = ctx.now();
                     }
                 }
                 if self.round < self.rounds {
@@ -95,7 +95,7 @@ struct HostReduceLoop {
     /// Child partials received this round.
     got: u32,
     acc: u64,
-    timing: Rc<Timing>,
+    timing: Arc<Timing>,
 }
 
 impl HostReduceLoop {
@@ -143,10 +143,10 @@ impl HostReduceLoop {
         self.round += 1;
         if self.me.0 == 0 {
             if self.round == self.warmup {
-                *self.timing.t_start.borrow_mut() = ctx.now();
+                *self.timing.t_start.lock().expect("shared app state mutex poisoned") = ctx.now();
             }
             if self.round == self.rounds {
-                *self.timing.t_end.borrow_mut() = ctx.now();
+                *self.timing.t_end.lock().expect("shared app state mutex poisoned") = ctx.now();
             }
         }
         if self.round < self.rounds {
@@ -188,22 +188,22 @@ impl HostApp<McastExt> for HostReduceLoop {
 
 fn round_us<A, F>(n: u32, rounds: u32, warmup: u32, mk: F) -> f64
 where
-    A: HostApp<McastExt> + 'static,
-    F: Fn(NodeId, SpanningTree, Rc<Timing>) -> A,
+    A: HostApp<McastExt> + Send + 'static,
+    F: Fn(NodeId, SpanningTree, Arc<Timing>) -> A,
 {
     let fabric = Fabric::new(Topology::for_nodes(n), 17);
     let dests: Vec<NodeId> = (1..n).map(NodeId).collect();
     let tree = SpanningTree::build(NodeId(0), &dests, TreeShape::Binomial);
-    let timing = Rc::new(Timing {
-        t_start: Rc::new(RefCell::new(SimTime::ZERO)),
-        t_end: Rc::new(RefCell::new(SimTime::ZERO)),
+    let timing = Arc::new(Timing {
+        t_start: Arc::new(Mutex::new(SimTime::ZERO)),
+        t_end: Arc::new(Mutex::new(SimTime::ZERO)),
     });
     let mut cluster = Cluster::new(GmParams::default(), fabric, |_| McastExt::new());
     for i in 0..n {
         cluster.set_app(NodeId(i), Box::new(mk(NodeId(i), tree.clone(), timing.clone())));
     }
     cluster.into_engine().run_to_idle();
-    let span = timing.t_end.borrow().saturating_since(*timing.t_start.borrow());
+    let span = timing.t_end.lock().expect("shared app state mutex poisoned").saturating_since(*timing.t_start.lock().expect("shared app state mutex poisoned"));
     span.as_micros_f64() / (rounds - warmup) as f64
 }
 

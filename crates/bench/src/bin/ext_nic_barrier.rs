@@ -4,8 +4,8 @@
 //! multicast — compared against the host-level dissemination barrier the
 //! MPI layer uses.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Mutex;
+use std::sync::Arc;
 
 use bench::{par_map, us, CliOpts, Table};
 use gm::{Cluster, GmParams, HostApp, HostCtx, Notice};
@@ -23,8 +23,8 @@ struct BarrierLoop {
     tree: SpanningTree,
     rounds: u32,
     round: u32,
-    t_start: Rc<RefCell<SimTime>>,
-    t_end: Rc<RefCell<SimTime>>,
+    t_start: Arc<Mutex<SimTime>>,
+    t_end: Arc<Mutex<SimTime>>,
     warmup: u32,
 }
 
@@ -51,10 +51,10 @@ impl HostApp<McastExt> for BarrierLoop {
                 self.round += 1;
                 if self.me.0 == 0 {
                     if self.round == self.warmup {
-                        *self.t_start.borrow_mut() = ctx.now();
+                        *self.t_start.lock().expect("shared app state mutex poisoned") = ctx.now();
                     }
                     if self.round == self.rounds {
-                        *self.t_end.borrow_mut() = ctx.now();
+                        *self.t_end.lock().expect("shared app state mutex poisoned") = ctx.now();
                     }
                 }
                 if self.round < self.rounds {
@@ -74,8 +74,8 @@ fn nic_barrier_round_us(n: u32, warmup: u32, iters: u32) -> f64 {
     let fabric = Fabric::new(Topology::for_nodes(n), 13);
     let dests: Vec<NodeId> = (1..n).map(NodeId).collect();
     let tree = SpanningTree::build(NodeId(0), &dests, TreeShape::Binomial);
-    let t_start = Rc::new(RefCell::new(SimTime::ZERO));
-    let t_end = Rc::new(RefCell::new(SimTime::ZERO));
+    let t_start = Arc::new(Mutex::new(SimTime::ZERO));
+    let t_end = Arc::new(Mutex::new(SimTime::ZERO));
     let mut cluster = Cluster::new(GmParams::default(), fabric, |_| McastExt::new());
     for i in 0..n {
         cluster.set_app(
@@ -92,7 +92,7 @@ fn nic_barrier_round_us(n: u32, warmup: u32, iters: u32) -> f64 {
         );
     }
     cluster.into_engine().run_to_idle();
-    let span = t_end.borrow().saturating_since(*t_start.borrow());
+    let span = t_end.lock().expect("shared app state mutex poisoned").saturating_since(*t_start.lock().expect("shared app state mutex poisoned"));
     span.as_micros_f64() / iters as f64
 }
 

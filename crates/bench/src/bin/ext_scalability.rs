@@ -69,5 +69,13 @@ fn main() {
          with depth instead of saturating."
     );
     bench::write_json("ext_scalability", &results);
-    bench::perf::record("ext_scalability", sweep_started.elapsed());
+    // Sharded runs record under their own key so the sequential baseline
+    // (what the CI perf gate compares against) is never overwritten by a
+    // run in a different execution mode.
+    let shards = nic_mcast::env_shards();
+    if shards > 1 {
+        bench::perf::record(&format!("ext_scalability_shards{shards}"), sweep_started.elapsed());
+    } else {
+        bench::perf::record("ext_scalability", sweep_started.elapsed());
+    }
 }

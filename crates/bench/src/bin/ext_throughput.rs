@@ -4,8 +4,8 @@
 //! back-to-back messages without waiting; throughput is payload bytes
 //! delivered to every destination over the makespan.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Mutex;
+use std::sync::Arc;
 
 use bench::{factor, par_map, CliOpts, Table};
 use bytes::Bytes;
@@ -71,7 +71,7 @@ struct StreamDest {
     burst: u32,
     nic: bool,
     got: u32,
-    done_at: Rc<RefCell<Vec<SimTime>>>,
+    done_at: Arc<Mutex<Vec<SimTime>>>,
 }
 
 impl HostApp<McastExt> for StreamDest {
@@ -96,7 +96,7 @@ impl HostApp<McastExt> for StreamDest {
             }
             self.got += 1;
             if self.got == self.burst {
-                self.done_at.borrow_mut()[self.me.idx()] = ctx.now();
+                self.done_at.lock().expect("shared app state mutex poisoned")[self.me.idx()] = ctx.now();
             }
         }
     }
@@ -108,7 +108,7 @@ fn throughput(n: u32, size: usize, burst: u32, nic: bool, shape: TreeShape) -> f
     let fabric = Fabric::new(Topology::for_nodes(n), 29);
     let dests: Vec<NodeId> = (1..n).map(NodeId).collect();
     let tree = SpanningTree::build(NodeId(0), &dests, shape);
-    let done_at = Rc::new(RefCell::new(vec![SimTime::ZERO; n as usize]));
+    let done_at = Arc::new(Mutex::new(vec![SimTime::ZERO; n as usize]));
     let mut cluster = Cluster::new(GmParams::default(), fabric, |_| McastExt::new());
     cluster.set_app(
         NodeId(0),
@@ -135,7 +135,7 @@ fn throughput(n: u32, size: usize, burst: u32, nic: bool, shape: TreeShape) -> f
     let mut eng = cluster.into_engine();
     let outcome = eng.run(SimTime::MAX, 2_000_000_000);
     assert_eq!(outcome, gm_sim::RunOutcome::Idle, "stream hung");
-    let d = done_at.borrow();
+    let d = done_at.lock().expect("shared app state mutex poisoned");
     assert!(d.iter().skip(1).all(|&t| t > SimTime::ZERO), "missing deliveries");
     let makespan = d.iter().cloned().fold(SimTime::ZERO, SimTime::max);
     let bytes = burst as u64 * size as u64 * (n as u64 - 1);

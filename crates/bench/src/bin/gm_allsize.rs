@@ -4,8 +4,8 @@
 //! against era numbers (LANai 9 / PCI64B: ~7 µs short-message latency,
 //! bandwidth approaching the 250 MB/s wire limit).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Mutex;
+use std::sync::Arc;
 
 use bench::{par_map, Table};
 use bytes::Bytes;
@@ -23,7 +23,7 @@ struct Pinger {
     warmup: u32,
     count: u32,
     t0: SimTime,
-    rtt_sum_us: Rc<RefCell<f64>>,
+    rtt_sum_us: Arc<Mutex<f64>>,
 }
 
 impl HostApp<NoExt> for Pinger {
@@ -35,7 +35,7 @@ impl HostApp<NoExt> for Pinger {
     fn on_notice(&mut self, n: Notice<Never>, ctx: &mut HostCtx<'_, NoExt>) {
         if let Notice::Recv { .. } = n {
             if self.count >= self.warmup {
-                *self.rtt_sum_us.borrow_mut() += (ctx.now() - self.t0).as_micros_f64();
+                *self.rtt_sum_us.lock().expect("shared app state mutex poisoned") += (ctx.now() - self.t0).as_micros_f64();
             }
             self.count += 1;
             ctx.provide_recv(P0, 1);
@@ -81,7 +81,7 @@ impl HostApp<NoExt> for Blaster {
 struct Counter {
     expect: u32,
     got: u32,
-    done_at: Rc<RefCell<SimTime>>,
+    done_at: Arc<Mutex<SimTime>>,
 }
 
 impl HostApp<NoExt> for Counter {
@@ -93,14 +93,14 @@ impl HostApp<NoExt> for Counter {
             self.got += 1;
             ctx.provide_recv(P0, 1);
             if self.got == self.expect {
-                *self.done_at.borrow_mut() = ctx.now();
+                *self.done_at.lock().expect("shared app state mutex poisoned") = ctx.now();
             }
         }
     }
 }
 
 fn half_rtt_us(size: usize, iters: u32) -> f64 {
-    let sum = Rc::new(RefCell::new(0.0));
+    let sum = Arc::new(Mutex::new(0.0));
     let mut c = Cluster::new(GmParams::default(), Fabric::new(Topology::for_nodes(2), 1), |_| NoExt);
     c.set_app(
         NodeId(0),
@@ -115,12 +115,12 @@ fn half_rtt_us(size: usize, iters: u32) -> f64 {
     );
     c.set_app(NodeId(1), Box::new(Echo { size }));
     c.into_engine().run_to_idle();
-    let s = *sum.borrow();
+    let s = *sum.lock().expect("shared app state mutex poisoned");
     s / iters as f64 / 2.0
 }
 
 fn bandwidth_mbs(size: usize, count: u32) -> f64 {
-    let done_at = Rc::new(RefCell::new(SimTime::ZERO));
+    let done_at = Arc::new(Mutex::new(SimTime::ZERO));
     let mut c = Cluster::new(GmParams::default(), Fabric::new(Topology::for_nodes(2), 1), |_| NoExt);
     c.set_app(NodeId(0), Box::new(Blaster { size, count }));
     c.set_app(
@@ -132,7 +132,7 @@ fn bandwidth_mbs(size: usize, count: u32) -> f64 {
         }),
     );
     c.into_engine().run_to_idle();
-    let t = done_at.borrow().as_micros_f64();
+    let t = done_at.lock().expect("shared app state mutex poisoned").as_micros_f64();
     assert!(t > 0.0, "stream incomplete");
     (size as u64 * count as u64) as f64 / t
 }

@@ -11,7 +11,9 @@
 //!
 //! `--check` re-parses the emitted JSON and validates the trace-event
 //! schema (used by CI): every event carries `ph`/`pid`/`tid`, non-metadata
-//! events carry `ts`, and `B`/`E` pairs balance per (pid, tid) lane.
+//! events carry `ts`, `B`/`E` pairs balance per (pid, tid) lane, and
+//! timestamps never decrease within a lane (a shard-merged probe stream
+//! that interleaved wrongly would fail here).
 
 use std::collections::BTreeMap;
 
@@ -117,6 +119,10 @@ fn check_schema(doc: &str) -> Result<usize, String> {
     // B/E balance per (pid, tid) lane: depth must never go negative and
     // must end at zero (every Begin has a matching End).
     let mut depth: BTreeMap<(u64, u64), i64> = BTreeMap::new();
+    // Per-lane timestamps must be non-decreasing: a shard-merged probe
+    // stream that interleaved wrongly would show up here as time running
+    // backwards inside a track.
+    let mut last_ts: BTreeMap<(u64, u64), f64> = BTreeMap::new();
     let mut checked = 0usize;
     for (idx, ev) in events.iter().enumerate() {
         let fields = match ev {
@@ -141,10 +147,20 @@ fn check_schema(doc: &str) -> Result<usize, String> {
         let pid = num("pid")?;
         let tid = num("tid")?;
         if ph != "M" {
-            match get("ts") {
-                Some(Value::Float(_) | Value::UInt(_) | Value::Int(_)) => {}
+            let ts = match get("ts") {
+                Some(Value::Float(f)) => *f,
+                Some(Value::UInt(n)) => *n as f64,
+                Some(Value::Int(n)) => *n as f64,
                 _ => return Err(format!("event {idx}: missing numeric `ts`")),
+            };
+            let prev = last_ts.entry((pid, tid)).or_insert(f64::NEG_INFINITY);
+            if ts < *prev {
+                return Err(format!(
+                    "event {idx}: timestamp runs backwards on lane {pid}/{tid} \
+                     ({ts} after {prev})"
+                ));
             }
+            *prev = ts;
         }
         let lane = depth.entry((pid, tid)).or_insert(0);
         match ph {
@@ -193,7 +209,7 @@ fn main() {
     let path = dir.join(format!("trace_{}_{}n_{}B.json", mode_tag, o.nodes, o.size));
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("warning: cannot create results/: {e}");
-    } else if let Err(e) = std::fs::write(&path, &doc) {
+    } else if let Err(e) = bench::atomic_write(&path, &doc) {
         eprintln!("warning: cannot write {}: {e}", path.display());
     } else {
         eprintln!("(trace written to {} — open in ui.perfetto.dev)", path.display());
@@ -253,7 +269,9 @@ fn main() {
 
     if o.check {
         match check_schema(&doc) {
-            Ok(n) => println!("schema check: {n} events OK (ph/ts/pid/tid, B/E balanced)"),
+            Ok(n) => println!(
+                "schema check: {n} events OK (ph/ts/pid/tid, B/E balanced, per-track ts non-decreasing)"
+            ),
             Err(e) => {
                 eprintln!("schema check FAILED: {e}");
                 std::process::exit(1);

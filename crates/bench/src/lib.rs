@@ -167,8 +167,21 @@ pub fn results_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results")
 }
 
+/// Write `contents` to `path` atomically: serialize into a same-directory
+/// temporary file, then rename over the target. A crashed or interrupted
+/// writer can never leave a truncated JSON file behind, and concurrent
+/// figure binaries never observe each other's partial writes.
+pub fn atomic_write(path: &Path, contents: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
 /// Write `rows` as pretty JSON under `results/<name>.json` (best effort; a
 /// failure only prints a warning so the table output still stands alone).
+/// Creates `results/` if missing and writes atomically (tmp + rename).
 pub fn write_json<T: Serialize>(name: &str, rows: &T) {
     let dir = results_dir();
     if let Err(e) = std::fs::create_dir_all(&dir) {
@@ -178,7 +191,7 @@ pub fn write_json<T: Serialize>(name: &str, rows: &T) {
     let path = dir.join(format!("{name}.json"));
     match serde_json::to_string_pretty(rows) {
         Ok(s) => {
-            if let Err(e) = std::fs::write(&path, s) {
+            if let Err(e) = atomic_write(&path, &s) {
                 eprintln!("warning: cannot write {}: {e}", path.display());
             } else {
                 eprintln!("(results written to {})", path.display());
@@ -214,7 +227,7 @@ pub fn write_json_sweep<T: Serialize>(name: &str, sweep: &Sweep, rows: &T) {
 /// by binary name, merging with records from other binaries. The file is the
 /// perf-regression baseline DESIGN.md §6 describes.
 pub mod perf {
-    use super::results_dir;
+    use super::{atomic_write, results_dir};
 
     /// Record this process's aggregate dispatch stats under `binary` in
     /// `results/perf_baseline.json`. `process_wall` should span the whole
@@ -241,6 +254,16 @@ pub mod perf {
             serde_json::Value::Float(process_wall.as_secs_f64()),
         );
         entry.insert("queue", serde_json::Value::Str(queue.to_string()));
+        // Record the execution environment so baseline comparisons are
+        // honest: a 4-shard run on a single-core host shows window-protocol
+        // overhead, not parallel speedup.
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        entry.insert("cores", serde_json::Value::UInt(cores as u64));
+        let shards = std::env::var("MYRI_SIM_SHARDS")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(1u64);
+        entry.insert("shards", serde_json::Value::UInt(shards));
 
         let dir = results_dir();
         let path = dir.join("perf_baseline.json");
@@ -258,7 +281,7 @@ pub mod perf {
         }
         match serde_json::to_string_pretty(&doc) {
             Ok(s) => {
-                if let Err(e) = std::fs::write(&path, s) {
+                if let Err(e) = atomic_write(&path, &s) {
                     eprintln!("warning: cannot write {}: {e}", path.display());
                 } else {
                     eprintln!(

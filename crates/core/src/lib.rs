@@ -58,6 +58,6 @@ pub use tree::{coverage, min_makespan, PostalParams, SpanningTree, TreeShape};
 #[allow(deprecated)]
 pub use workloads::execute;
 pub use workloads::{
-    build_cluster, execute_instrumented, execute_max_over_probes, AckMode, InstrumentedOutput,
-    McastMode, McastRun, RunOutput, Shared, DATA_PORT, REPLY_PORT,
+    build_cluster, env_shards, execute_instrumented, execute_max_over_probes, AckMode,
+    InstrumentedOutput, McastMode, McastRun, RunOutput, Shared, DATA_PORT, REPLY_PORT,
 };

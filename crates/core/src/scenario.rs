@@ -217,6 +217,17 @@ impl Scenario {
         self
     }
 
+    /// Number of shards for parallel execution (default: the
+    /// `MYRI_SIM_SHARDS` environment variable, else 1 = sequential).
+    /// Sharding never changes results — the merged run is bit-for-bit
+    /// identical to the sequential reference — and configurations that
+    /// cannot shard (targeted drop rules, indivisible topologies) fall
+    /// back to sequential execution automatically.
+    pub fn shards(mut self, n: u32) -> Scenario {
+        self.run.shards = n;
+        self
+    }
+
     /// Validate and resolve into an executable scenario.
     pub fn build(self) -> Result<BuiltScenario, ScenarioError> {
         let Scenario {

@@ -15,8 +15,8 @@
 //!   child and every interior *host* re-sends on receive (the traditional
 //!   store-and-forward broadcast the paper compares against).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Mutex;
+use std::sync::Arc;
 
 use bytes::Bytes;
 use gm::{Cluster, GmParams, HostApp, HostCtx, Notice};
@@ -91,6 +91,19 @@ pub struct McastRun {
     pub params: GmParams,
     /// Network parameters.
     pub net: NetParams,
+    /// Requested shard count for parallel execution (1 = sequential; the
+    /// default honours `MYRI_SIM_SHARDS`). Results are bit-for-bit
+    /// identical either way; infeasible configurations (targeted drop
+    /// rules, indivisible topologies) silently fall back to sequential.
+    pub shards: u32,
+}
+
+/// The `MYRI_SIM_SHARDS` default: unset, empty or unparsable means 1.
+pub fn env_shards() -> u32 {
+    std::env::var("MYRI_SIM_SHARDS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(1)
 }
 
 impl McastRun {
@@ -115,6 +128,7 @@ impl McastRun {
             config: McastConfig::default(),
             params: GmParams::default(),
             net: NetParams::default(),
+            shards: env_shards(),
         }
     }
 }
@@ -165,7 +179,7 @@ struct RootApp {
     t_start: SimTime,
     /// Outstanding completion notices this iteration (NicAck mode).
     pending: u32,
-    shared: Rc<RefCell<Shared>>,
+    shared: Arc<Mutex<Shared>>,
 }
 
 impl RootApp {
@@ -199,7 +213,7 @@ impl RootApp {
     fn finish_iteration(&mut self, ctx: &mut HostCtx<'_, McastExt>) {
         let lat = ctx.now() - self.t_start;
         if self.iter >= self.run.warmup {
-            let mut s = self.shared.borrow_mut();
+            let mut s = self.shared.lock().expect("shared app state mutex poisoned");
             s.latency.record_duration(lat);
             s.latency_hist.record(lat.as_micros_f64());
             s.iters_done += 1;
@@ -313,13 +327,13 @@ impl HostApp<McastExt> for DestApp {
 
 /// Build the cluster for a run, returning it with a handle to the shared
 /// measurement state (exposed for tests that want to poke the cluster).
-pub fn build_cluster(run: &McastRun) -> (Cluster<McastExt>, Rc<RefCell<Shared>>) {
+pub fn build_cluster(run: &McastRun) -> (Cluster<McastExt>, Arc<Mutex<Shared>>) {
     assert!(run.dests.contains(&run.probe), "probe must be a destination");
     let topo = Topology::for_nodes(run.n_nodes);
     let fabric = Fabric::with_config(topo, run.net, run.faults.clone(), run.seed);
     let tree = SpanningTree::build(run.root, &run.dests, run.shape);
     let gid = GroupId(1);
-    let shared = Rc::new(RefCell::new(Shared {
+    let shared = Arc::new(Mutex::new(Shared {
         latency: OnlineStats::new(),
         latency_hist: Histogram::new(1.0, 100_000),
         iters_done: 0,
@@ -383,40 +397,74 @@ pub fn execute_instrumented(run: &McastRun, probes: ProbeConfig) -> Instrumented
     let tree = SpanningTree::build(run.root, &run.dests, run.shape);
     let (mut cluster, shared) = build_cluster(run);
     cluster.set_probes(probes);
-    let mut eng = cluster.into_engine();
-    let outcome = eng.run(SimTime::MAX, 2_000_000_000);
-    assert_eq!(
-        outcome,
-        gm_sim::RunOutcome::Idle,
-        "run did not converge (possible deadlock)"
-    );
-    let s = shared.borrow();
+
+    // Run sequentially or sharded — bit-for-bit the same results, so the
+    // collection below works off a uniform `Vec<Cluster>` view. Infeasible
+    // sharding requests (single shard, targeted drop rules, indivisible
+    // topologies) fall back to the sequential engine.
+    let (mut worlds, now, events) =
+        if run.shards > 1 && cluster.shard_infeasible(run.shards).is_none() {
+            let mut eng = cluster.into_sharded_engine(run.shards);
+            let outcome = eng.run(SimTime::MAX, 2_000_000_000);
+            assert_eq!(
+                outcome,
+                gm_sim::RunOutcome::Idle,
+                "sharded run did not converge (possible deadlock)"
+            );
+            let (now, events) = (eng.now(), eng.events_handled());
+            (eng.into_worlds(), now, events)
+        } else {
+            let mut eng = cluster.into_engine();
+            let outcome = eng.run(SimTime::MAX, 2_000_000_000);
+            assert_eq!(
+                outcome,
+                gm_sim::RunOutcome::Idle,
+                "run did not converge (possible deadlock)"
+            );
+            let (now, events) = (eng.now(), eng.events_handled());
+            (vec![eng.into_world()], now, events)
+        };
+
+    let s = shared.lock().expect("shared app state mutex poisoned");
     assert_eq!(
         s.iters_done, run.iters,
         "not every timed iteration completed"
     );
-    let retransmissions: u64 = (0..run.n_nodes)
-        .map(|i| {
-            let c = &eng.world().nic(NodeId(i)).counters;
-            c.get("mcast_retransmissions") + c.get("retransmissions")
+    let retransmissions: u64 = worlds
+        .iter()
+        .map(|w| {
+            w.local_nodes()
+                .map(|n| {
+                    let c = &w.nic(n).counters;
+                    c.get("mcast_retransmissions") + c.get("retransmissions")
+                })
+                .sum::<u64>()
         })
         .sum();
-    let root_link = eng.world().fabric().topology().route(run.root, run.probe)[0];
-    let root_link_utilization = if eng.now() > SimTime::ZERO {
-        eng.world().fabric().link_busy(root_link).as_micros_f64() / eng.now().as_micros_f64()
+    // The root's injection link is owned (and therefore accounted) by the
+    // shard that owns the root node.
+    let root_world = worlds
+        .iter()
+        .find(|w| w.local_nodes().any(|n| n == run.root))
+        .expect("some shard owns the root");
+    let root_link = root_world.fabric().topology().route(run.root, run.probe)[0];
+    let root_link_utilization = if now > SimTime::ZERO {
+        root_world.fabric().link_busy(root_link).as_micros_f64() / now.as_micros_f64()
     } else {
         0.0
     };
     let mut metrics = Metrics::new();
-    for i in 0..run.n_nodes {
-        for (name, v) in eng.world().nic(NodeId(i)).counters.iter() {
-            metrics.add("nic", name, v);
+    for w in &worlds {
+        for n in w.local_nodes() {
+            for (name, v) in w.nic(n).counters.iter() {
+                metrics.add("nic", name, v);
+            }
+        }
+        for (name, v) in w.fabric().counters().iter() {
+            metrics.add("fabric", name, v);
         }
     }
-    for (name, v) in eng.world().fabric().counters().iter() {
-        metrics.add("fabric", name, v);
-    }
-    metrics.set("engine", "events", eng.events_handled());
+    metrics.set("engine", "events", events);
     let output = RunOutput {
         latency: s.latency.clone(),
         latency_p50: s.latency_hist.percentile(50.0),
@@ -424,13 +472,21 @@ pub fn execute_instrumented(run: &McastRun, probes: ProbeConfig) -> Instrumented
         retransmissions,
         height: tree.height(),
         avg_fanout: tree.avg_fanout(),
-        end_time: eng.now(),
-        events: eng.events_handled(),
+        end_time: now,
+        events,
         root_link_utilization,
     };
     let windows = s.windows.clone();
     drop(s);
-    let probe = std::mem::replace(&mut eng.world_mut().probe, ProbeSink::disabled());
+    // Canonicalize the probe stream in both modes (sort by `(time, node)`,
+    // renumber), so a sharded run's merged stream is byte-identical to the
+    // sequential reference.
+    let probe = ProbeSink::merge_canonical(
+        worlds
+            .iter_mut()
+            .map(|w| std::mem::replace(&mut w.probe, ProbeSink::disabled()))
+            .collect(),
+    );
     InstrumentedOutput {
         output,
         probe,

@@ -3,8 +3,8 @@
 //! values combine up the group tree inside firmware; the final result comes
 //! back down as an 8-byte reliable multicast.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Mutex;
+use std::sync::Arc;
 
 use gm::{Cluster, GmParams, HostApp, HostCtx, Notice};
 use gm_sim::{SimDuration, SimTime};
@@ -15,7 +15,7 @@ const PORT: PortId = PortId(0);
 const GID: GroupId = GroupId(2);
 
 /// results[round][node] = (result, completion time).
-type Results = Rc<RefCell<Vec<Vec<(u64, SimTime)>>>>;
+type Results = Arc<Mutex<Vec<Vec<(u64, SimTime)>>>>;
 
 struct ReduceApp {
     me: NodeId,
@@ -66,7 +66,7 @@ impl HostApp<McastExt> for ReduceApp {
             Notice::ComputeDone { tag: 0xA11 } => self.post(ctx),
             Notice::Ext(McastNotice::AllreduceDone { result, tag, .. }) => {
                 assert_eq!(tag, self.round as u64);
-                self.results.borrow_mut()[self.round as usize][self.me.idx()] =
+                self.results.lock().unwrap()[self.round as usize][self.me.idx()] =
                     (result, ctx.now());
                 self.round += 1;
                 if self.round < self.rounds {
@@ -90,7 +90,7 @@ fn run(
     let fabric = Fabric::with_config(Topology::for_nodes(n), NetParams::default(), faults, 31);
     let dests: Vec<NodeId> = (1..n).map(NodeId).collect();
     let tree = SpanningTree::build(NodeId(0), &dests, TreeShape::Binomial);
-    let results: Results = Rc::new(RefCell::new(vec![
+    let results: Results = Arc::new(Mutex::new(vec![
         vec![(0, SimTime::ZERO); n as usize];
         rounds as usize
     ]));
@@ -113,7 +113,7 @@ fn run(
     let mut eng = cluster.into_engine();
     let outcome = eng.run(SimTime::MAX, 100_000_000);
     assert_eq!(outcome, gm_sim::RunOutcome::Idle, "allreduce hung");
-    let r = results.borrow().clone();
+    let r = results.lock().unwrap().clone();
     r
 }
 

@@ -4,8 +4,8 @@
 //! their parents entirely at NIC level, and the root releases everyone
 //! through a zero-byte reliable multicast.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Mutex;
+use std::sync::Arc;
 
 use gm::{Cluster, GmParams, HostApp, HostCtx, Notice};
 use gm_sim::{SimDuration, SimTime};
@@ -16,7 +16,7 @@ const PORT: PortId = PortId(0);
 const GID: GroupId = GroupId(3);
 
 /// Per-round completion times for every node: `times[round][node]`.
-type RoundLog = Rc<RefCell<Vec<Vec<SimTime>>>>;
+type RoundLog = Arc<Mutex<Vec<Vec<SimTime>>>>;
 
 /// Enters the barrier `rounds` times, optionally staggering each entry by a
 /// per-node, per-round delay.
@@ -70,7 +70,7 @@ impl HostApp<McastExt> for BarrierApp {
             }
             Notice::Ext(McastNotice::BarrierDone { tag, .. }) => {
                 assert_eq!(tag, self.round as u64, "round mismatch at {}", self.me);
-                self.log.borrow_mut()[self.round as usize][self.me.idx()] = ctx.now();
+                self.log.lock().unwrap()[self.round as usize][self.me.idx()] = ctx.now();
                 self.round += 1;
                 if self.round < self.rounds {
                     self.enter(ctx);
@@ -90,7 +90,7 @@ fn run_barrier(
     let fabric = Fabric::with_config(Topology::for_nodes(n), NetParams::default(), faults, 11);
     let dests: Vec<NodeId> = (1..n).map(NodeId).collect();
     let tree = SpanningTree::build(NodeId(0), &dests, TreeShape::Binomial);
-    let log: RoundLog = Rc::new(RefCell::new(vec![
+    let log: RoundLog = Arc::new(Mutex::new(vec![
         vec![SimTime::ZERO; n as usize];
         rounds as usize
     ]));
@@ -111,7 +111,7 @@ fn run_barrier(
     let mut eng = cluster.into_engine();
     let outcome = eng.run(SimTime::MAX, 100_000_000);
     assert_eq!(outcome, gm_sim::RunOutcome::Idle, "barrier hung");
-    let log = log.borrow().clone();
+    let log = log.lock().unwrap().clone();
     (log, eng.now())
 }
 
@@ -222,7 +222,7 @@ fn barrier_and_multicast_share_the_group() {
         me: NodeId,
         tree: SpanningTree,
         phase: u32,
-        got_data: Rc<RefCell<u32>>,
+        got_data: Arc<Mutex<u32>>,
     }
     impl HostApp<McastExt> for Mixed {
         fn on_start(&mut self, ctx: &mut HostCtx<'_, McastExt>) {
@@ -260,7 +260,7 @@ fn barrier_and_multicast_share_the_group() {
                 }
                 Notice::Recv { tag, data, .. } => {
                     ctx.provide_recv(PORT, 1);
-                    *self.got_data.borrow_mut() += 1;
+                    *self.got_data.lock().unwrap() += 1;
                     match tag {
                         1 => assert_eq!(&data[..], b"first"),
                         2 => {
@@ -280,7 +280,7 @@ fn barrier_and_multicast_share_the_group() {
     let fabric = Fabric::new(Topology::for_nodes(n), 21);
     let dests: Vec<NodeId> = (1..n).map(NodeId).collect();
     let tree = SpanningTree::build(NodeId(0), &dests, TreeShape::Binomial);
-    let counters: Vec<Rc<RefCell<u32>>> = (0..n).map(|_| Rc::default()).collect();
+    let counters: Vec<Arc<Mutex<u32>>> = (0..n).map(|_| Arc::default()).collect();
     let mut cluster = Cluster::new(GmParams::default(), fabric, |_| McastExt::new());
     for i in 0..n {
         cluster.set_app(
@@ -296,6 +296,6 @@ fn barrier_and_multicast_share_the_group() {
     let mut eng = cluster.into_engine();
     eng.run_to_idle();
     for (i, c) in counters.iter().enumerate().skip(1) {
-        assert_eq!(*c.borrow(), 2, "node {i} data deliveries");
+        assert_eq!(*c.lock().unwrap(), 2, "node {i} data deliveries");
     }
 }

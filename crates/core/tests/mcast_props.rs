@@ -2,8 +2,8 @@
 //! tree shape, message schedules and loss rates — every destination must
 //! receive every message exactly once, in order, bit-intact.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Mutex;
+use std::sync::Arc;
 
 use bytes::Bytes;
 use gm::{Cluster, GmParams, HostApp, HostCtx, Notice};
@@ -15,7 +15,7 @@ use proptest::prelude::*;
 const PORT: PortId = PortId(0);
 const G: GroupId = GroupId(1);
 
-type Log = Rc<RefCell<Vec<(u64, usize, u8)>>>;
+type Log = Arc<Mutex<Vec<(u64, usize, u8)>>>;
 
 struct Root {
     tree: SpanningTree,
@@ -66,7 +66,7 @@ impl HostApp<McastExt> for Member {
         if let Notice::Recv { tag, data, .. } = n {
             ctx.provide_recv(PORT, 1);
             let fill = data.first().copied().unwrap_or(0);
-            self.log.borrow_mut().push((tag, data.len(), fill));
+            self.log.lock().unwrap().push((tag, data.len(), fill));
         }
     }
 }
@@ -113,7 +113,7 @@ proptest! {
         );
         let mut logs: Vec<Log> = Vec::new();
         for &d in &dests {
-            let log: Log = Rc::default();
+            let log: Log = Arc::default();
             logs.push(log.clone());
             cluster.set_app(
                 d,
@@ -128,7 +128,7 @@ proptest! {
         let outcome = eng.run(SimTime::MAX, 200_000_000);
         prop_assert_eq!(outcome, gm_sim::RunOutcome::Idle, "multicast hung");
         for (di, log) in logs.iter().enumerate() {
-            let got = log.borrow();
+            let got = log.lock().unwrap();
             prop_assert_eq!(got.len(), msgs.len(), "dest {} count", di + 1);
             for (k, &(tag, len, fill)) in got.iter().enumerate() {
                 prop_assert_eq!(tag, k as u64, "dest {} order", di + 1);

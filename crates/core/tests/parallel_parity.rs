@@ -1,0 +1,138 @@
+//! Differential suite for the sharded engine: a run split across shards
+//! must be **bit-for-bit identical** to the sequential reference — same
+//! latencies, same counters, same probe event stream, same iteration
+//! windows. This is the contract that makes `--shards`/`MYRI_SIM_SHARDS`
+//! a pure wall-clock knob.
+//!
+//! The test container may be single-core; `MYRI_SIM_FORCE_THREADS=1` is
+//! set here so the sharded runs exercise the real scoped-thread window
+//! loop, not just the caller-mode fallback (caller-mode parity is pinned
+//! separately in `determinism.rs`, which runs in its own process without
+//! the flag).
+
+use gm_sim::probe::ProbeConfig;
+use myrinet::{DropRule, FaultPlan, NodeId};
+use nic_mcast::{execute_instrumented, InstrumentedOutput, McastMode, McastRun, TreeShape};
+use proptest::prelude::*;
+
+/// Latch the threaded window loop on (checked once per process, so set it
+/// before the first sharded run).
+fn force_threads() {
+    std::env::set_var("MYRI_SIM_FORCE_THREADS", "1");
+}
+
+fn run_with_shards(run: &McastRun, shards: u32, probes: ProbeConfig) -> InstrumentedOutput {
+    let mut r = run.clone();
+    r.shards = shards;
+    execute_instrumented(&r, probes)
+}
+
+/// Every observable of the two runs must match exactly (floats compared
+/// by bit pattern — "close" is not good enough).
+fn assert_bit_identical(run: &McastRun, shards: u32) {
+    let a = run_with_shards(run, 1, ProbeConfig::spans());
+    let b = run_with_shards(run, shards, ProbeConfig::spans());
+    assert_eq!(a.output.latency.count(), b.output.latency.count(), "iteration count");
+    assert_eq!(
+        a.output.latency.mean().to_bits(),
+        b.output.latency.mean().to_bits(),
+        "mean latency: seq {} vs sharded {}",
+        a.output.latency.mean(),
+        b.output.latency.mean()
+    );
+    assert_eq!(a.output.latency_p50.to_bits(), b.output.latency_p50.to_bits(), "p50");
+    assert_eq!(a.output.latency_p99.to_bits(), b.output.latency_p99.to_bits(), "p99");
+    assert_eq!(a.output.retransmissions, b.output.retransmissions, "retransmissions");
+    assert_eq!(a.output.end_time, b.output.end_time, "end time");
+    assert_eq!(a.output.events, b.output.events, "dispatched event count");
+    assert_eq!(
+        a.output.root_link_utilization.to_bits(),
+        b.output.root_link_utilization.to_bits(),
+        "root link utilization"
+    );
+    assert_eq!(a.metrics, b.metrics, "counter snapshot");
+    assert_eq!(a.windows, b.windows, "iteration windows");
+    let (pa, pb) = (a.probe.to_vec(), b.probe.to_vec());
+    assert_eq!(pa.len(), pb.len(), "probe stream length");
+    for (i, (x, y)) in pa.iter().zip(pb.iter()).enumerate() {
+        assert_eq!(x, y, "probe streams diverge at event {i}");
+    }
+}
+
+#[test]
+fn crossbar_nic_based_matches_across_shard_counts() {
+    force_threads();
+    let mut run = McastRun::new(8, 1024, McastMode::NicBased, TreeShape::Binomial);
+    run.warmup = 2;
+    run.iters = 4;
+    for shards in [2, 4, 8] {
+        assert_bit_identical(&run, shards);
+    }
+}
+
+#[test]
+fn clos_topology_shards_along_leaves() {
+    force_threads();
+    // 32 nodes is a two-stage Clos: partitions must align on leaf switches
+    // and the lookahead doubles. Both are exercised here.
+    let mut run = McastRun::new(32, 512, McastMode::NicBased, TreeShape::KAry(4));
+    run.warmup = 1;
+    run.iters = 3;
+    assert_bit_identical(&run, 4);
+}
+
+#[test]
+fn lossy_runs_match_because_fault_draws_are_per_packet() {
+    force_threads();
+    let mut run = McastRun::new(8, 512, McastMode::NicBased, TreeShape::Binomial);
+    run.warmup = 1;
+    run.iters = 6;
+    run.faults = FaultPlan::with_loss(0.05);
+    assert_bit_identical(&run, 4);
+}
+
+#[test]
+fn targeted_drop_rules_fall_back_to_sequential() {
+    force_threads();
+    // Rules carry mutable count-down state, so sharding is infeasible; the
+    // run must still complete (sequentially) and agree with shards=1.
+    let mut run = McastRun::new(6, 256, McastMode::NicBased, TreeShape::Binomial);
+    run.warmup = 1;
+    run.iters = 2;
+    run.faults = FaultPlan {
+        rules: vec![DropRule {
+            dst: Some(NodeId(3)),
+            data: Some(true),
+            count: 2,
+            ..DropRule::default()
+        }],
+        ..FaultPlan::default()
+    };
+    assert_bit_identical(&run, 4);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn sharded_equals_sequential(
+        n in 3u32..13,
+        size in 1usize..4096,
+        shards in 2u32..5,
+        shape_k in 1u32..4,
+        host_based in any::<bool>(),
+        loss_on in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        force_threads();
+        let mode = if host_based { McastMode::HostBased } else { McastMode::NicBased };
+        let mut run = McastRun::new(n, size, mode, TreeShape::KAry(shape_k));
+        run.warmup = 1;
+        run.iters = 3;
+        run.seed = seed;
+        if loss_on {
+            run.faults = FaultPlan::with_loss(0.03);
+        }
+        assert_bit_identical(&run, shards);
+    }
+}

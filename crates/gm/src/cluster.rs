@@ -7,9 +7,12 @@
 //! extension; this module only routes events and converts NIC intents into
 //! scheduled events.
 
+use std::sync::Arc;
+
+use gm_sim::parallel::OutMsg;
 use gm_sim::probe::{ProbeConfig, ProbeSink};
-use gm_sim::{Engine, Scheduler, SimDuration, SimTime, World};
-use myrinet::{Fabric, NodeId, Packet, Verdict};
+use gm_sim::{Engine, Outbox, Scheduler, ShardWorld, ShardedEngine, SimDuration, SimTime, World};
+use myrinet::{Fabric, NodeId, Packet, RxOutcome, WireHandoff};
 
 use crate::ext::NicExtension;
 use crate::host::{Host, HostApp, HostCall, HostCtx};
@@ -67,19 +70,89 @@ pub enum Ev<X: NicExtension> {
     PacketArrive(NodeId, Packet),
     /// A timer fired.
     Timer(NodeId, TimerTag<X::Tag>),
+    /// Wire-boundary sentinel: drain every buffered [`WireHandoff`] whose
+    /// head reaches destination-owned links at this instant. Scheduled with
+    /// [`Scheduler::at_wire`], so it runs before any normal event of the
+    /// same instant — the canonical position that makes sequential and
+    /// sharded runs identical.
+    WireRx,
+}
+
+/// Packets in flight across the route's ownership boundary, ordered by the
+/// canonical `(head_at, src, wire_seq)` key in which the receive stages
+/// must run. One [`Ev::WireRx`] sentinel is scheduled per insertion; the
+/// first sentinel of an instant drains every hand-off due at it, later ones
+/// find nothing (keeping event counts identical across modes). A min-heap
+/// on the (unique) canonical key: this sits on every packet's hot path, and
+/// a heap push/pop beats B-tree rebalancing for the shallow occupancy the
+/// wire keeps (packets in flight for one lookahead at most).
+struct WireBuffer {
+    heap: std::collections::BinaryHeap<WireEntry>,
+}
+
+/// Heap entry ordered as a *min*-heap on the canonical key (reversed
+/// comparisons; `BinaryHeap` is a max-heap).
+struct WireEntry {
+    key: (SimTime, u32, u64),
+    handoff: WireHandoff,
+}
+
+impl PartialEq for WireEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for WireEntry {}
+impl PartialOrd for WireEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for WireEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.key.cmp(&self.key)
+    }
+}
+
+impl WireBuffer {
+    fn new() -> Self {
+        WireBuffer {
+            heap: std::collections::BinaryHeap::new(),
+        }
+    }
+
+    fn insert(&mut self, h: WireHandoff) {
+        let key = (h.head_at, h.pkt.src.0, h.wire_seq);
+        debug_assert!(
+            !self.heap.iter().any(|e| e.key == key),
+            "duplicate wire hand-off key"
+        );
+        self.heap.push(WireEntry { key, handoff: h });
+    }
+
+    fn pop_due(&mut self, now: SimTime) -> Option<WireHandoff> {
+        let t = self.heap.peek()?.key.0;
+        if t == now {
+            self.heap.pop().map(|e| e.handoff)
+        } else {
+            debug_assert!(t > now, "missed a wire hand-off at {t} (now {now})");
+            None
+        }
+    }
 }
 
 struct Slot<X: NicExtension> {
     host: Host<X>,
     nic: NicCore<X>,
     ext: X,
-    app: Option<Box<dyn HostApp<X>>>,
+    app: Option<Box<dyn HostApp<X> + Send>>,
     /// Sends the GM library parked while the NIC was out of send tokens
     /// (a blocking `gm_send` queues client-side; replayed as tokens free).
     parked_sends: std::collections::VecDeque<crate::nic::SendArgs>,
 }
 
-/// N nodes plus the fabric.
+/// N nodes plus the fabric — or, after [`split`](Cluster::split), one
+/// shard's contiguous slice of them (plus that shard's fabric clone).
 pub struct Cluster<X: NicExtension> {
     params: GmParams,
     fabric: Fabric,
@@ -87,6 +160,17 @@ pub struct Cluster<X: NicExtension> {
     start_times: Vec<SimTime>,
     /// Observability sink (disabled by default; see [`set_probes`](Self::set_probes)).
     pub probe: ProbeSink,
+    /// Owning shard of every node (all zero in an unsplit cluster).
+    shard_of: Arc<Vec<u32>>,
+    /// This cluster's shard index (0 in an unsplit cluster).
+    my_shard: u32,
+    /// Global node id of `slots[0]` (shards own contiguous node ranges).
+    node_base: u32,
+    /// Hand-offs whose receive stage is due here, in canonical order.
+    wire: WireBuffer,
+    /// Cross-shard hand-offs emitted by the event being handled; drained
+    /// into the engine's [`Outbox`] after each event (empty when unsplit).
+    pending_out: Vec<OutMsg<WireHandoff>>,
 }
 
 impl<X: NicExtension> Cluster<X> {
@@ -113,6 +197,11 @@ impl<X: NicExtension> Cluster<X> {
             slots,
             start_times: vec![SimTime::ZERO; n as usize],
             probe: ProbeSink::disabled(),
+            shard_of: Arc::new(vec![0; n as usize]),
+            my_shard: 0,
+            node_base: 0,
+            wire: WireBuffer::new(),
+            pending_out: Vec::new(),
         }
     }
 
@@ -122,9 +211,30 @@ impl<X: NicExtension> Cluster<X> {
         self.probe = ProbeSink::new(config);
     }
 
-    /// Number of nodes.
+    /// Number of nodes in the whole cluster (not just this shard's slice).
     pub fn n_nodes(&self) -> u32 {
-        self.slots.len() as u32
+        self.fabric.topology().n_nodes()
+    }
+
+    /// The global node ids this cluster (shard) owns.
+    pub fn local_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.slots.len() as u32).map(|i| NodeId(self.node_base + i))
+    }
+
+    /// This cluster's shard index (0 when unsplit).
+    pub fn shard_id(&self) -> u32 {
+        self.my_shard
+    }
+
+    /// Index of `node` into this cluster's slot slice.
+    #[inline]
+    fn local(&self, node: NodeId) -> usize {
+        debug_assert_eq!(
+            self.shard_of[node.idx()], self.my_shard,
+            "{node} is not owned by shard {}",
+            self.my_shard
+        );
+        node.idx() - self.node_base as usize
     }
 
     /// The parameter set.
@@ -143,8 +253,9 @@ impl<X: NicExtension> Cluster<X> {
     }
 
     /// Install `app` on `node`.
-    pub fn set_app(&mut self, node: NodeId, app: Box<dyn HostApp<X>>) {
-        self.slots[node.idx()].app = Some(app);
+    pub fn set_app(&mut self, node: NodeId, app: Box<dyn HostApp<X> + Send>) {
+        let li = self.local(node);
+        self.slots[li].app = Some(app);
     }
 
     /// Set the time `node`'s application starts.
@@ -154,21 +265,22 @@ impl<X: NicExtension> Cluster<X> {
 
     /// A node's NIC (counters, token state).
     pub fn nic(&self, node: NodeId) -> &NicCore<X> {
-        &self.slots[node.idx()].nic
+        &self.slots[self.local(node)].nic
     }
 
     /// A node's host (CPU accounting).
     pub fn host(&self, node: NodeId) -> &Host<X> {
-        &self.slots[node.idx()].host
+        &self.slots[self.local(node)].host
     }
 
     /// A node's extension state.
     pub fn ext(&self, node: NodeId) -> &X {
-        &self.slots[node.idx()].ext
+        &self.slots[self.local(node)].ext
     }
 
     /// Wrap in an engine with every node's `AppStart` scheduled.
     pub fn into_engine(self) -> Engine<Cluster<X>> {
+        assert_eq!(self.node_base, 0, "into_engine on a shard slice");
         let starts: Vec<(NodeId, SimTime)> = self
             .start_times
             .iter()
@@ -178,6 +290,86 @@ impl<X: NicExtension> Cluster<X> {
         let mut eng = Engine::new(self);
         for (node, at) in starts {
             eng.schedule(at, Ev::AppStart(node));
+        }
+        eng
+    }
+
+    /// Why this cluster cannot be split `n_shards` ways (`None` = it can).
+    /// Infeasible configurations run sequentially instead.
+    pub fn shard_infeasible(&self, n_shards: u32) -> Option<&'static str> {
+        if n_shards <= 1 {
+            return Some("a single shard was requested");
+        }
+        if !self.fabric.faults().rules.is_empty() {
+            // Rule counters decrement on match; with shards deciding fates
+            // independently the count-down order would be racy.
+            return Some("targeted drop rules carry shared count-down state");
+        }
+        let part = self.fabric.topology().partition(n_shards);
+        if part.iter().max().copied().unwrap_or(0) == 0 {
+            return Some("the topology has a single indivisible placement unit");
+        }
+        None
+    }
+
+    /// Split into per-shard clusters plus the window lookahead. Each shard
+    /// owns a contiguous, fabric-partition-aligned range of nodes and a
+    /// clone of the (still pristine) fabric; disjoint link ownership under
+    /// the two-stage wire protocol keeps the clones consistent.
+    ///
+    /// Panics when [`shard_infeasible`](Self::shard_infeasible) — check (or
+    /// use [`into_sharded_engine`](Self::into_sharded_engine)) first.
+    pub fn split(self, n_shards: u32) -> (Vec<Cluster<X>>, SimDuration) {
+        if let Some(why) = self.shard_infeasible(n_shards) {
+            panic!("cannot shard this cluster: {why}");
+        }
+        let shard_of = Arc::new(self.fabric.topology().partition(n_shards));
+        let lookahead = self
+            .fabric
+            .cross_lookahead(&shard_of)
+            .expect("feasible partitions have cross-shard pairs");
+        let actual = shard_of.iter().max().copied().unwrap_or(0) + 1;
+        let config = self.probe.config();
+        let mut shards = Vec::with_capacity(actual as usize);
+        let mut slots = self.slots.into_iter();
+        let mut node_base = 0u32;
+        for s in 0..actual {
+            let count = shard_of.iter().filter(|&&x| x == s).count();
+            shards.push(Cluster {
+                params: self.params.clone(),
+                fabric: self.fabric.clone(),
+                slots: slots.by_ref().take(count).collect(),
+                start_times: self.start_times.clone(),
+                probe: ProbeSink::new(config),
+                shard_of: Arc::clone(&shard_of),
+                my_shard: s,
+                node_base,
+                wire: WireBuffer::new(),
+                pending_out: Vec::new(),
+            });
+            node_base += count as u32;
+        }
+        (shards, lookahead)
+    }
+
+    /// Wrap in a [`ShardedEngine`] of (at most) `n_shards` shards with every
+    /// node's `AppStart` scheduled on its owning shard. The run is
+    /// bit-for-bit identical to [`into_engine`](Self::into_engine) +
+    /// `run_to_idle` — the engines differ only in wall-clock parallelism.
+    ///
+    /// Panics when [`shard_infeasible`](Self::shard_infeasible).
+    pub fn into_sharded_engine(self, n_shards: u32) -> ShardedEngine<Cluster<X>> {
+        let starts: Vec<(NodeId, SimTime)> = self
+            .start_times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (NodeId(i as u32), t))
+            .collect();
+        let (shards, lookahead) = self.split(n_shards);
+        let shard_of = Arc::clone(&shards[0].shard_of);
+        let mut eng = ShardedEngine::new(shards, lookahead);
+        for (node, at) in starts {
+            eng.schedule(shard_of[node.idx()] as usize, at, Ev::AppStart(node));
         }
         eng
     }
@@ -205,7 +397,8 @@ impl<X: NicExtension> Cluster<X> {
         f: impl FnOnce(&mut dyn HostApp<X>, &mut HostCtx<'_, X>),
     ) {
         let now = sched.now();
-        let slot = &mut self.slots[node.idx()];
+        let li = self.local(node);
+        let slot = &mut self.slots[li];
         let busy_from = busy_from.unwrap_or_else(|| slot.host.free_at().max(now));
         let mut app = slot.app.take().expect("app re-entry");
         {
@@ -225,7 +418,8 @@ impl<X: NicExtension> Cluster<X> {
 
     /// Schedule the host calls an app produced.
     fn pump_host(&mut self, node: NodeId, sched: &mut Scheduler<Ev<X>>) {
-        let calls = std::mem::take(&mut self.slots[node.idx()].host.calls);
+        let li = self.local(node);
+        let calls = std::mem::take(&mut self.slots[li].host.calls);
         for (at, call) in calls {
             sched.at(at, Ev::HostCall(node, call));
         }
@@ -234,7 +428,8 @@ impl<X: NicExtension> Cluster<X> {
     /// Convert NIC intents into scheduled events.
     fn pump_nic(&mut self, node: NodeId, sched: &mut Scheduler<Ev<X>>) {
         let now = sched.now();
-        let slot = &mut self.slots[node.idx()];
+        let li = self.local(node);
+        let slot = &mut self.slots[li];
         slot.nic.set_now(now);
         // Replay parked sends as tokens free up.
         while slot.nic.send_tokens_free() > 0 {
@@ -263,31 +458,32 @@ impl<X: NicExtension> Cluster<X> {
                 u64::from(pkt.dst.0),
                 pkt.wire_bytes(),
             );
-            let verdict = self.fabric.inject(now, &pkt);
+            let tx = self.fabric.tx_stage(now, pkt);
             let stall = self.fabric.last_inject_stall();
             if stall > SimDuration::ZERO {
                 self.probe
                     .complete(now, node.0, probes::LINK_STALL, stall, "");
             }
-            sched.at(verdict.src_free(), Ev::TxDrained(node, cb));
-            match verdict {
-                Verdict::Delivered { at, .. } => {
-                    let dst = pkt.dst;
-                    self.probe.complete(
-                        now,
-                        dst.0,
-                        probes::WIRE_FLIGHT,
-                        at.saturating_since(now),
-                        "flight",
-                    );
-                    sched.at(at, Ev::PacketArrive(dst, pkt));
-                }
-                Verdict::Dropped { .. } => {
-                    self.probe.instant(now, node.0, probes::PKT_DROP, "", 0);
-                }
+            sched.at(tx.src_free, Ev::TxDrained(node, cb));
+            let h = tx.handoff;
+            let dst_shard = self.shard_of[h.pkt.dst.idx()];
+            if dst_shard == self.my_shard {
+                // Local receive: buffer and drain via a wire-class sentinel,
+                // the same canonical position a cross-shard hand-off gets.
+                sched.at_wire(h.head_at, Ev::WireRx);
+                self.wire.insert(h);
+            } else {
+                self.pending_out.push(OutMsg {
+                    dst_shard,
+                    time: h.head_at,
+                    src: u64::from(h.pkt.src.0),
+                    seq: h.wire_seq,
+                    payload: h,
+                });
             }
         }
-        let slot = &mut self.slots[node.idx()];
+        let li = self.local(node);
+        let slot = &mut self.slots[li];
         if slot.nic.take_resource_signal() {
             slot.ext.resources_available(&mut slot.nic);
         }
@@ -301,8 +497,36 @@ impl<X: NicExtension> Cluster<X> {
         // on (e.g. tx_drained freeing a send buffer enqueues a new DMA), so
         // iterate until quiescent. Each pass schedules at least one
         // completion event, so this terminates.
-        if self.slots[node.idx()].nic.wants_pump() {
+        if self.slots[self.local(node)].nic.wants_pump() {
             self.pump_nic(node, sched);
+        }
+    }
+
+    /// Run the receive stage of one boundary hand-off: reserve the
+    /// destination-owned links, decide the packet's fate, and schedule the
+    /// tail arrival. `now` must equal `h.head_at`.
+    fn rx_deliver(&mut self, h: WireHandoff, sched: &mut Scheduler<Ev<X>>) {
+        let now = sched.now();
+        debug_assert_eq!(now, h.head_at, "receive stage off its boundary instant");
+        let dst = h.pkt.dst;
+        match self.fabric.rx_stage(&h) {
+            RxOutcome::Delivered { at } => {
+                let stall = self.fabric.last_inject_stall();
+                if stall > SimDuration::ZERO {
+                    self.probe.complete(now, dst.0, probes::LINK_STALL, stall, "");
+                }
+                self.probe.complete(
+                    now,
+                    dst.0,
+                    probes::WIRE_FLIGHT,
+                    at.saturating_since(now),
+                    "flight",
+                );
+                sched.at(at, Ev::PacketArrive(dst, h.pkt));
+            }
+            RxOutcome::Dropped { .. } => {
+                self.probe.instant(now, dst.0, probes::PKT_DROP, "", 0);
+            }
         }
     }
 
@@ -313,7 +537,8 @@ impl<X: NicExtension> Cluster<X> {
         notice: Notice<X::Notice>,
         sched: &mut Scheduler<Ev<X>>,
     ) {
-        let slot = &mut self.slots[node.idx()];
+        let li = self.local(node);
+        let slot = &mut self.slots[li];
         let free_at = slot.host.free_at();
         if sched.now() < free_at {
             slot.host.pending.push_back(notice);
@@ -336,7 +561,8 @@ impl<X: NicExtension> Cluster<X> {
         };
         let now = sched.now();
         self.probe.instant(now, node.0, probes::NOTICE, name, 0);
-        let slot = &mut self.slots[node.idx()];
+        let li = self.local(node);
+        let slot = &mut self.slots[li];
         let busy_from = slot.host.free_at().max(now);
         slot.host.charge(now, cost);
         self.with_app_from(node, sched, Some(busy_from), |app, ctx| {
@@ -346,9 +572,11 @@ impl<X: NicExtension> Cluster<X> {
 
     /// The host CPU freed up: deliver as many pending notices as possible.
     fn host_wake(&mut self, node: NodeId, sched: &mut Scheduler<Ev<X>>) {
-        self.slots[node.idx()].host.wake_scheduled = false;
+        let li = self.local(node);
+        self.slots[li].host.wake_scheduled = false;
         loop {
-            let slot = &mut self.slots[node.idx()];
+            let li = self.local(node);
+            let slot = &mut self.slots[li];
             if slot.host.pending.is_empty() {
                 return;
             }
@@ -376,7 +604,8 @@ impl<X: NicExtension> World for Cluster<X> {
             }
             Ev::HostCall(n, call) => {
                 let now = sched.now();
-                let slot = &mut self.slots[n.idx()];
+                let li = self.local(n);
+                let slot = &mut self.slots[li];
                 slot.nic.set_now(now);
                 match call {
                     HostCall::Send(args) => {
@@ -415,21 +644,24 @@ impl<X: NicExtension> World for Cluster<X> {
             Ev::LanaiDone(n, work) => {
                 self.probe
                     .end(sched.now(), n.0, probes::LANAI, work_name(&work));
-                let slot = &mut self.slots[n.idx()];
+                let li = self.local(n);
+                let slot = &mut self.slots[li];
                 slot.nic.set_now(sched.now());
                 slot.nic.lanai_finish(work, &mut slot.ext);
                 self.pump_nic(n, sched);
             }
             Ev::PciDone(n, job) => {
                 self.probe.end(sched.now(), n.0, probes::PCI_DMA, "dma");
-                let slot = &mut self.slots[n.idx()];
+                let li = self.local(n);
+                let slot = &mut self.slots[li];
                 slot.nic.set_now(sched.now());
                 slot.nic.pci_finish(job, &mut slot.ext);
                 self.pump_nic(n, sched);
             }
             Ev::TxDrained(n, cb) => {
                 self.probe.end(sched.now(), n.0, probes::WIRE_TX, "tx");
-                let slot = &mut self.slots[n.idx()];
+                let li = self.local(n);
+                let slot = &mut self.slots[li];
                 slot.nic.set_now(sched.now());
                 slot.nic.tx_drained(cb);
                 self.pump_nic(n, sched);
@@ -442,7 +674,8 @@ impl<X: NicExtension> World for Cluster<X> {
                     "",
                     u64::from(pkt.src.0),
                 );
-                let slot = &mut self.slots[n.idx()];
+                let li = self.local(n);
+                let slot = &mut self.slots[li];
                 slot.nic.set_now(sched.now());
                 slot.nic.packet_arrived(pkt);
                 self.pump_nic(n, sched);
@@ -455,12 +688,40 @@ impl<X: NicExtension> World for Cluster<X> {
                 };
                 self.probe
                     .instant(sched.now(), n.0, probes::NIC_TIMER, label, 0);
-                let slot = &mut self.slots[n.idx()];
+                let li = self.local(n);
+                let slot = &mut self.slots[li];
                 slot.nic.set_now(sched.now());
                 slot.nic.timer_fired(tag, &mut slot.ext);
                 self.pump_nic(n, sched);
             }
+            Ev::WireRx => {
+                while let Some(h) = self.wire.pop_due(sched.now()) {
+                    self.rx_deliver(h, sched);
+                }
+            }
         }
+    }
+}
+
+impl<X: NicExtension> ShardWorld for Cluster<X> {
+    type Event = Ev<X>;
+    type Handoff = WireHandoff;
+
+    fn handle(
+        &mut self,
+        event: Ev<X>,
+        sched: &mut Scheduler<Ev<X>>,
+        outbox: &mut Outbox<WireHandoff>,
+    ) {
+        World::handle(self, event, sched);
+        for m in self.pending_out.drain(..) {
+            outbox.send(m.dst_shard, m.time, m.src, m.seq, m.payload);
+        }
+    }
+
+    fn absorb(&mut self, m: OutMsg<WireHandoff>, sched: &mut Scheduler<Ev<X>>) {
+        sched.at_wire(m.time, Ev::WireRx);
+        self.wire.insert(m.payload);
     }
 }
 

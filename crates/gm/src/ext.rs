@@ -33,14 +33,14 @@ use crate::params::GmParams;
 /// All hooks run on the (serial) LANai processor: the cluster charges the
 /// configured processing cost *before* invoking a hook, so hook bodies apply
 /// their effects instantaneously at cost-completion time.
-pub trait NicExtension: Sized {
+pub trait NicExtension: Sized + Send {
     /// Host-to-NIC request type (e.g. create-group, multicast-send).
-    type Request: Debug;
+    type Request: Debug + Send;
     /// NIC-to-host notification payload (e.g. multicast-complete).
-    type Notice: Debug + Clone;
+    type Notice: Debug + Clone + Send;
     /// Opaque tag threaded through callbacks, timers, DMA jobs and work
     /// items back to the extension.
-    type Tag: Debug + Clone;
+    type Tag: Debug + Clone + Send;
 
     /// LANai cost of processing `req` (charged before [`host_request`]).
     ///

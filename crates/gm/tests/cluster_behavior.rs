@@ -1,8 +1,8 @@
 //! Cluster-level behaviours: host-CPU serialization of notice delivery,
 //! client-side send parking under token exhaustion, and protocol tracing.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Mutex;
+use std::sync::Arc;
 
 use bytes::Bytes;
 use gm::{probes, Cluster, GmParams, HostApp, HostCtx, Never, NoExt, Notice};
@@ -17,7 +17,7 @@ fn notices_wait_for_a_busy_host() {
     // The receiver computes for 500us immediately; a message arriving at
     // ~6us must only be delivered when the CPU frees up.
     struct BusyReceiver {
-        delivered_at: Rc<RefCell<SimTime>>,
+        delivered_at: Arc<Mutex<SimTime>>,
     }
     impl HostApp<NoExt> for BusyReceiver {
         fn on_start(&mut self, ctx: &mut HostCtx<'_, NoExt>) {
@@ -26,7 +26,7 @@ fn notices_wait_for_a_busy_host() {
         }
         fn on_notice(&mut self, n: Notice<Never>, ctx: &mut HostCtx<'_, NoExt>) {
             if let Notice::Recv { .. } = n {
-                *self.delivered_at.borrow_mut() = ctx.now();
+                *self.delivered_at.lock().unwrap() = ctx.now();
             }
         }
     }
@@ -37,7 +37,7 @@ fn notices_wait_for_a_busy_host() {
         }
         fn on_notice(&mut self, _: Notice<Never>, _: &mut HostCtx<'_, NoExt>) {}
     }
-    let delivered_at = Rc::new(RefCell::new(SimTime::ZERO));
+    let delivered_at = Arc::new(Mutex::new(SimTime::ZERO));
     let mut c = Cluster::new(GmParams::default(), Fabric::new(Topology::for_nodes(2), 1), |_| NoExt);
     c.set_app(NodeId(0), Box::new(Sender));
     c.set_app(
@@ -47,7 +47,7 @@ fn notices_wait_for_a_busy_host() {
         }),
     );
     c.into_engine().run_to_idle();
-    let at = *delivered_at.borrow();
+    let at = *delivered_at.lock().unwrap();
     assert!(
         at >= SimTime::ZERO + SimDuration::from_micros(500),
         "notice delivered at {at} while the host was computing"
@@ -76,7 +76,7 @@ fn sends_park_when_tokens_run_out_and_replay_in_order() {
         fn on_notice(&mut self, _: Notice<Never>, _: &mut HostCtx<'_, NoExt>) {}
     }
     struct Sink {
-        got: Rc<RefCell<Vec<u64>>>,
+        got: Arc<Mutex<Vec<u64>>>,
     }
     impl HostApp<NoExt> for Sink {
         fn on_start(&mut self, ctx: &mut HostCtx<'_, NoExt>) {
@@ -85,18 +85,18 @@ fn sends_park_when_tokens_run_out_and_replay_in_order() {
         fn on_notice(&mut self, n: Notice<Never>, ctx: &mut HostCtx<'_, NoExt>) {
             if let Notice::Recv { tag, .. } = n {
                 ctx.provide_recv(P0, 1);
-                self.got.borrow_mut().push(tag);
+                self.got.lock().unwrap().push(tag);
             }
         }
     }
-    let got = Rc::new(RefCell::new(Vec::new()));
+    let got = Arc::new(Mutex::new(Vec::new()));
     let mut c = Cluster::new(params, Fabric::new(Topology::for_nodes(2), 2), |_| NoExt);
     c.set_app(NodeId(0), Box::new(Burst));
     c.set_app(NodeId(1), Box::new(Sink { got: got.clone() }));
     let mut eng = c.into_engine();
     eng.run_to_idle();
     assert_eq!(
-        *got.borrow(),
+        *got.lock().unwrap(),
         (0..MSGS).collect::<Vec<u64>>(),
         "parked sends must replay in post order"
     );
@@ -159,15 +159,15 @@ fn trace_captures_the_full_protocol_pipeline() {
 #[test]
 fn staggered_app_starts_are_honoured() {
     struct Stamp {
-        at: Rc<RefCell<SimTime>>,
+        at: Arc<Mutex<SimTime>>,
     }
     impl HostApp<NoExt> for Stamp {
         fn on_start(&mut self, ctx: &mut HostCtx<'_, NoExt>) {
-            *self.at.borrow_mut() = ctx.now();
+            *self.at.lock().unwrap() = ctx.now();
         }
         fn on_notice(&mut self, _: Notice<Never>, _: &mut HostCtx<'_, NoExt>) {}
     }
-    let stamps: Vec<Rc<RefCell<SimTime>>> = (0..3).map(|_| Rc::default()).collect();
+    let stamps: Vec<Arc<Mutex<SimTime>>> = (0..3).map(|_| Arc::default()).collect();
     let mut c = Cluster::new(GmParams::default(), Fabric::new(Topology::for_nodes(3), 4), |_| NoExt);
     for (i, s) in stamps.iter().enumerate() {
         c.set_app(NodeId(i as u32), Box::new(Stamp { at: s.clone() }));
@@ -175,6 +175,6 @@ fn staggered_app_starts_are_honoured() {
     }
     c.into_engine().run_to_idle();
     for (i, s) in stamps.iter().enumerate() {
-        assert_eq!(s.borrow().as_nanos(), 1_000 * i as u64);
+        assert_eq!(s.lock().unwrap().as_nanos(), 1_000 * i as u64);
     }
 }

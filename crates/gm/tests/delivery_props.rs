@@ -2,8 +2,8 @@
 //! message schedules under arbitrary loss rates must arrive exactly once,
 //! in order, bit-for-bit intact.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Mutex;
+use std::sync::Arc;
 
 use bytes::Bytes;
 use gm::{Cluster, GmParams, HostApp, HostCtx, Never, NoExt, Notice};
@@ -45,7 +45,7 @@ impl HostApp<NoExt> for Blaster {
     fn on_notice(&mut self, _: Notice<Never>, _: &mut HostCtx<'_, NoExt>) {}
 }
 
-type Log = Rc<RefCell<Vec<(u64, Bytes)>>>;
+type Log = Arc<Mutex<Vec<(u64, Bytes)>>>;
 
 struct Sink {
     log: Log,
@@ -58,7 +58,7 @@ impl HostApp<NoExt> for Sink {
     fn on_notice(&mut self, n: Notice<Never>, ctx: &mut HostCtx<'_, NoExt>) {
         if let Notice::Recv { tag, data, .. } = n {
             ctx.provide_recv(P0, 1);
-            self.log.borrow_mut().push((tag, data));
+            self.log.lock().unwrap().push((tag, data));
         }
     }
 }
@@ -82,7 +82,7 @@ proptest! {
         cluster.set_app(NodeId(0), Box::new(Blaster { msgs: msgs.clone() }));
         let mut logs: Vec<Log> = Vec::new();
         for d in 1..4u32 {
-            let log: Log = Rc::default();
+            let log: Log = Arc::default();
             logs.push(log.clone());
             cluster.set_app(NodeId(d), Box::new(Sink { log }));
         }
@@ -100,7 +100,7 @@ proptest! {
                 .filter(|(_, m)| m.dst == dst)
                 .map(|(i, m)| (i as u64, m))
                 .collect();
-            let got = log.borrow();
+            let got = log.lock().unwrap();
             prop_assert_eq!(got.len(), expect.len(), "count at dst {}", dst);
             for ((tag, data), (etag, em)) in got.iter().zip(&expect) {
                 prop_assert_eq!(tag, etag, "order at dst {}", dst);
@@ -126,7 +126,7 @@ proptest! {
             let mut cluster = Cluster::new(GmParams::default(), fabric, |_| NoExt);
             cluster.set_app(NodeId(0), Box::new(Blaster { msgs: msgs.clone() }));
             for d in 1..4u32 {
-                cluster.set_app(NodeId(d), Box::new(Sink { log: Rc::default() }));
+                cluster.set_app(NodeId(d), Box::new(Sink { log: Arc::default() }));
             }
             let mut eng = cluster.into_engine();
             eng.run_to_idle();

@@ -1,8 +1,8 @@
 //! End-to-end tests of the base GM protocol: reliable ordered delivery over
 //! the simulated fabric, with and without injected faults.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Mutex;
+use std::sync::Arc;
 
 use bytes::Bytes;
 use gm::{Cluster, GmParams, HostApp, HostCtx, Never, NoExt, Notice};
@@ -12,9 +12,9 @@ use myrinet::{DropRule, Fabric, FaultPlan, NetParams, NodeId, PortId, Topology};
 const P0: PortId = PortId(0);
 
 /// Messages observed by a receiver: (src, tag, data).
-type RecvLog = Rc<RefCell<Vec<(NodeId, u64, Bytes)>>>;
+type RecvLog = Arc<Mutex<Vec<(NodeId, u64, Bytes)>>>;
 /// Completion tags observed by a sender.
-type DoneLog = Rc<RefCell<Vec<u64>>>;
+type DoneLog = Arc<Mutex<Vec<u64>>>;
 
 /// Sends a scripted list of messages back to back (next send posted when the
 /// previous completes if `serial`, or all at once).
@@ -23,7 +23,7 @@ struct ScriptedSender {
     serial: bool,
     next: usize,
     done: DoneLog,
-    done_at: Rc<RefCell<SimTime>>,
+    done_at: Arc<Mutex<SimTime>>,
 }
 
 impl ScriptedSender {
@@ -33,7 +33,7 @@ impl ScriptedSender {
             serial,
             next: 0,
             done,
-            done_at: Rc::new(RefCell::new(SimTime::ZERO)),
+            done_at: Arc::new(Mutex::new(SimTime::ZERO)),
         }
     }
 }
@@ -55,8 +55,8 @@ impl HostApp<NoExt> for ScriptedSender {
 
     fn on_notice(&mut self, n: Notice<Never>, ctx: &mut HostCtx<'_, NoExt>) {
         if let Notice::SendComplete { tag, .. } = n {
-            self.done.borrow_mut().push(tag);
-            *self.done_at.borrow_mut() = ctx.now();
+            self.done.lock().unwrap().push(tag);
+            *self.done_at.lock().unwrap() = ctx.now();
             if self.serial && self.next < self.msgs.len() {
                 let (dst, data, tag) = self.msgs[self.next].clone();
                 self.next += 1;
@@ -70,7 +70,7 @@ impl HostApp<NoExt> for ScriptedSender {
 struct Sink {
     credits: usize,
     log: RecvLog,
-    last_at: Rc<RefCell<SimTime>>,
+    last_at: Arc<Mutex<SimTime>>,
 }
 
 impl Sink {
@@ -78,7 +78,7 @@ impl Sink {
         Sink {
             credits,
             log,
-            last_at: Rc::new(RefCell::new(SimTime::ZERO)),
+            last_at: Arc::new(Mutex::new(SimTime::ZERO)),
         }
     }
 }
@@ -90,8 +90,8 @@ impl HostApp<NoExt> for Sink {
 
     fn on_notice(&mut self, n: Notice<Never>, ctx: &mut HostCtx<'_, NoExt>) {
         if let Notice::Recv { src, tag, data, .. } = n {
-            self.log.borrow_mut().push((src, tag, data));
-            *self.last_at.borrow_mut() = ctx.now();
+            self.log.lock().unwrap().push((src, tag, data));
+            *self.last_at.lock().unwrap() = ctx.now();
         }
     }
 }
@@ -108,8 +108,8 @@ fn payload(len: usize, fill: u8) -> Bytes {
 #[test]
 fn single_small_message_latency_is_era_plausible() {
     let mut c = cluster(2, FaultPlan::none(), 1);
-    let recv: RecvLog = Rc::default();
-    let done: DoneLog = Rc::default();
+    let recv: RecvLog = Arc::default();
+    let done: DoneLog = Arc::default();
     c.set_app(
         NodeId(0),
         Box::new(ScriptedSender::new(
@@ -123,11 +123,11 @@ fn single_small_message_latency_is_era_plausible() {
     c.set_app(NodeId(1), Box::new(sink));
     let mut eng = c.into_engine();
     eng.run_to_idle();
-    let log = recv.borrow();
+    let log = recv.lock().unwrap();
     assert_eq!(log.len(), 1);
     assert_eq!(log[0].2, payload(8, 0xAB));
     // One-way latency must land in GM-2's era ballpark: 4..12 us.
-    let us = recv_at.borrow().as_micros_f64();
+    let us = recv_at.lock().unwrap().as_micros_f64();
     assert!((4.0..12.0).contains(&us), "one-way latency was {us} us");
 }
 
@@ -137,13 +137,13 @@ fn multi_packet_message_reassembles() {
     let data: Vec<u8> = (0..14_336u32).map(|i| (i % 251) as u8).collect();
     let data = Bytes::from(data);
     let mut c = cluster(2, FaultPlan::none(), 2);
-    let recv: RecvLog = Rc::default();
+    let recv: RecvLog = Arc::default();
     c.set_app(
         NodeId(0),
         Box::new(ScriptedSender::new(
             vec![(NodeId(1), data.clone(), 9)],
             true,
-            Rc::default(),
+            Arc::default(),
         )),
     );
     c.set_app(
@@ -151,7 +151,7 @@ fn multi_packet_message_reassembles() {
         Box::new(Sink::new(1, recv.clone())),
     );
     c.into_engine().run_to_idle();
-    let log = recv.borrow();
+    let log = recv.lock().unwrap();
     assert_eq!(log.len(), 1);
     assert_eq!(log[0].1, 9);
     assert_eq!(log[0].2, data, "reassembled payload must match exactly");
@@ -160,13 +160,13 @@ fn multi_packet_message_reassembles() {
 #[test]
 fn zero_length_message_is_delivered() {
     let mut c = cluster(2, FaultPlan::none(), 3);
-    let recv: RecvLog = Rc::default();
+    let recv: RecvLog = Arc::default();
     c.set_app(
         NodeId(0),
         Box::new(ScriptedSender::new(
             vec![(NodeId(1), Bytes::new(), 4)],
             true,
-            Rc::default(),
+            Arc::default(),
         )),
     );
     c.set_app(
@@ -174,7 +174,7 @@ fn zero_length_message_is_delivered() {
         Box::new(Sink::new(1, recv.clone())),
     );
     c.into_engine().run_to_idle();
-    let log = recv.borrow();
+    let log = recv.lock().unwrap();
     assert_eq!(log.len(), 1);
     assert!(log[0].2.is_empty());
 }
@@ -185,8 +185,8 @@ fn messages_on_one_connection_arrive_in_order() {
         .map(|i| (NodeId(1), payload(100 + i as usize * 37, i as u8), i))
         .collect();
     let mut c = cluster(2, FaultPlan::none(), 4);
-    let recv: RecvLog = Rc::default();
-    let done: DoneLog = Rc::default();
+    let recv: RecvLog = Arc::default();
+    let done: DoneLog = Arc::default();
     c.set_app(
         NodeId(0),
         Box::new(ScriptedSender::new(msgs, false, done.clone())),
@@ -196,13 +196,13 @@ fn messages_on_one_connection_arrive_in_order() {
         Box::new(Sink::new(20, recv.clone())),
     );
     c.into_engine().run_to_idle();
-    let log = recv.borrow();
+    let log = recv.lock().unwrap();
     assert_eq!(log.len(), 20);
     for (i, (_, tag, data)) in log.iter().enumerate() {
         assert_eq!(*tag, i as u64, "messages must arrive in post order");
         assert_eq!(data.len(), 100 + i * 37);
     }
-    assert_eq!(done.borrow().len(), 20);
+    assert_eq!(done.lock().unwrap().len(), 20);
 }
 
 #[test]
@@ -212,13 +212,13 @@ fn lost_data_packet_is_retransmitted() {
         ..FaultPlan::default()
     };
     let mut c = cluster(2, faults, 5);
-    let recv: RecvLog = Rc::default();
+    let recv: RecvLog = Arc::default();
     c.set_app(
         NodeId(0),
         Box::new(ScriptedSender::new(
             vec![(NodeId(1), payload(64, 1), 1)],
             true,
-            Rc::default(),
+            Arc::default(),
         )),
     );
     c.set_app(
@@ -227,7 +227,7 @@ fn lost_data_packet_is_retransmitted() {
     );
     let mut eng = c.into_engine();
     eng.run_to_idle();
-    assert_eq!(recv.borrow().len(), 1, "message survives the drop");
+    assert_eq!(recv.lock().unwrap().len(), 1, "message survives the drop");
     // Recovery needed at least one timeout period.
     assert!(eng.now() > SimTime::ZERO + GmParams::default().timeout);
     assert!(eng.world().nic(NodeId(0)).counters.get("retransmissions") >= 1);
@@ -246,8 +246,8 @@ fn lost_ack_is_recovered_without_duplicate_delivery() {
         ..FaultPlan::default()
     };
     let mut c = cluster(2, faults, 6);
-    let recv: RecvLog = Rc::default();
-    let done: DoneLog = Rc::default();
+    let recv: RecvLog = Arc::default();
+    let done: DoneLog = Arc::default();
     c.set_app(
         NodeId(0),
         Box::new(ScriptedSender::new(
@@ -261,8 +261,8 @@ fn lost_ack_is_recovered_without_duplicate_delivery() {
         Box::new(Sink::new(2, recv.clone())),
     );
     c.into_engine().run_to_idle();
-    assert_eq!(recv.borrow().len(), 1, "no duplicate delivery on ack loss");
-    assert_eq!(done.borrow().as_slice(), &[3], "sender still completes");
+    assert_eq!(recv.lock().unwrap().len(), 1, "no duplicate delivery on ack loss");
+    assert_eq!(done.lock().unwrap().as_slice(), &[3], "sender still completes");
 }
 
 #[test]
@@ -271,17 +271,17 @@ fn heavy_random_loss_still_delivers_everything() {
         .map(|i| (NodeId(1), payload(777, i as u8), i))
         .collect();
     let mut c = cluster(2, FaultPlan::with_loss(0.15), 7);
-    let recv: RecvLog = Rc::default();
+    let recv: RecvLog = Arc::default();
     c.set_app(
         NodeId(0),
-        Box::new(ScriptedSender::new(msgs, false, Rc::default())),
+        Box::new(ScriptedSender::new(msgs, false, Arc::default())),
     );
     c.set_app(
         NodeId(1),
         Box::new(Sink::new(30, recv.clone())),
     );
     c.into_engine().run_to_idle();
-    let log = recv.borrow();
+    let log = recv.lock().unwrap();
     assert_eq!(log.len(), 30);
     for (i, (_, tag, data)) in log.iter().enumerate() {
         assert_eq!(*tag, i as u64, "in-order despite loss");
@@ -303,7 +303,7 @@ fn missing_receive_token_stalls_until_recovered_by_retransmit() {
         }
         fn on_notice(&mut self, n: Notice<Never>, ctx: &mut HostCtx<'_, NoExt>) {
             if let Notice::Recv { src, tag, data, .. } = n {
-                self.log.borrow_mut().push((src, tag, data));
+                self.log.lock().unwrap().push((src, tag, data));
                 // Dawdle before reposting a credit, guaranteeing the second
                 // message's packet finds the token pool empty.
                 ctx.compute(SimDuration::from_micros(50), 0);
@@ -316,15 +316,15 @@ fn missing_receive_token_stalls_until_recovered_by_retransmit() {
         (NodeId(1), payload(8, 2), 1),
     ];
     let mut c = cluster(2, FaultPlan::none(), 8);
-    let recv: RecvLog = Rc::default();
+    let recv: RecvLog = Arc::default();
     c.set_app(
         NodeId(0),
-        Box::new(ScriptedSender::new(msgs, false, Rc::default())),
+        Box::new(ScriptedSender::new(msgs, false, Arc::default())),
     );
     c.set_app(NodeId(1), Box::new(LazySink { log: recv.clone() }));
     let mut eng = c.into_engine();
     eng.run_to_idle();
-    assert_eq!(recv.borrow().len(), 2);
+    assert_eq!(recv.lock().unwrap().len(), 2);
     let drops = eng.world().nic(NodeId(1)).counters.get("rx_drop_no_token");
     assert!(drops >= 1, "second message must have hit the token wall");
 }
@@ -332,8 +332,8 @@ fn missing_receive_token_stalls_until_recovered_by_retransmit() {
 #[test]
 fn bidirectional_traffic_does_not_interfere() {
     let mut c = cluster(2, FaultPlan::none(), 9);
-    let recv0: RecvLog = Rc::default();
-    let recv1: RecvLog = Rc::default();
+    let recv0: RecvLog = Arc::default();
+    let recv1: RecvLog = Arc::default();
 
     /// Sends and receives simultaneously.
     struct Both {
@@ -350,7 +350,7 @@ fn bidirectional_traffic_does_not_interfere() {
         }
         fn on_notice(&mut self, n: Notice<Never>, _ctx: &mut HostCtx<'_, NoExt>) {
             if let Notice::Recv { src, tag, data, .. } = n {
-                self.log.borrow_mut().push((src, tag, data));
+                self.log.lock().unwrap().push((src, tag, data));
             }
         }
     }
@@ -371,22 +371,22 @@ fn bidirectional_traffic_does_not_interfere() {
         }),
     );
     c.into_engine().run_to_idle();
-    assert_eq!(recv0.borrow().len(), 10);
-    assert_eq!(recv1.borrow().len(), 10);
+    assert_eq!(recv0.lock().unwrap().len(), 10);
+    assert_eq!(recv1.lock().unwrap().len(), 10);
 }
 
 #[test]
 fn fan_in_many_senders_one_receiver() {
     let n = 8u32;
     let mut c = cluster(n, FaultPlan::none(), 10);
-    let recv: RecvLog = Rc::default();
+    let recv: RecvLog = Arc::default();
     for s in 1..n {
         c.set_app(
             NodeId(s),
             Box::new(ScriptedSender::new(
                 vec![(NodeId(0), payload(1024, s as u8), s as u64)],
                 true,
-                Rc::default(),
+                Arc::default(),
             )),
         );
     }
@@ -395,7 +395,7 @@ fn fan_in_many_senders_one_receiver() {
         Box::new(Sink::new((n - 1) as usize, recv.clone())),
     );
     c.into_engine().run_to_idle();
-    let log = recv.borrow();
+    let log = recv.lock().unwrap();
     assert_eq!(log.len(), (n - 1) as usize);
     let mut srcs: Vec<u32> = log.iter().map(|(s, ..)| s.0).collect();
     srcs.sort_unstable();
@@ -407,13 +407,13 @@ fn larger_messages_take_longer() {
     let mut lat = Vec::new();
     for len in [64usize, 4096, 16384] {
         let mut c = cluster(2, FaultPlan::none(), 11);
-        let recv: RecvLog = Rc::default();
+        let recv: RecvLog = Arc::default();
         c.set_app(
             NodeId(0),
             Box::new(ScriptedSender::new(
                 vec![(NodeId(1), payload(len, 0), 0)],
                 true,
-                Rc::default(),
+                Arc::default(),
             )),
         );
         let sink = Sink::new(1, recv.clone());
@@ -421,8 +421,8 @@ fn larger_messages_take_longer() {
         c.set_app(NodeId(1), Box::new(sink));
         let mut eng = c.into_engine();
         eng.run_to_idle();
-        assert_eq!(recv.borrow().len(), 1);
-        lat.push(recv_at.borrow().as_micros_f64());
+        assert_eq!(recv.lock().unwrap().len(), 1);
+        lat.push(recv_at.lock().unwrap().as_micros_f64());
     }
     assert!(lat[0] < lat[1] && lat[1] < lat[2], "latency ordering: {lat:?}");
     // 16 KB spans 4 packets; wire time alone is ~66 us.
@@ -436,10 +436,10 @@ fn determinism_same_seed_same_timeline() {
             .map(|i| (NodeId(1), payload(500, i as u8), i))
             .collect();
         let mut c = cluster(2, FaultPlan::with_loss(0.1), 99);
-        let recv: RecvLog = Rc::default();
+        let recv: RecvLog = Arc::default();
         c.set_app(
             NodeId(0),
-            Box::new(ScriptedSender::new(msgs, false, Rc::default())),
+            Box::new(ScriptedSender::new(msgs, false, Arc::default())),
         );
         c.set_app(
             NodeId(1),
@@ -447,7 +447,7 @@ fn determinism_same_seed_same_timeline() {
         );
         let mut eng = c.into_engine();
         eng.run_to_idle();
-        let received = recv.borrow().len();
+        let received = recv.lock().unwrap().len();
         (eng.now(), eng.events_handled(), received)
     };
     assert_eq!(run(), run());
@@ -467,7 +467,7 @@ fn host_cpu_time_accounts_compute_and_overhead() {
         }
     }
     let mut c = cluster(2, FaultPlan::none(), 12);
-    let recv: RecvLog = Rc::default();
+    let recv: RecvLog = Arc::default();
     c.set_app(NodeId(0), Box::new(Computer));
     c.set_app(
         NodeId(1),
@@ -475,7 +475,7 @@ fn host_cpu_time_accounts_compute_and_overhead() {
     );
     let mut eng = c.into_engine();
     eng.run_to_idle();
-    assert_eq!(recv.borrow().len(), 1);
+    assert_eq!(recv.lock().unwrap().len(), 1);
     let busy = eng.world().host(NodeId(0)).busy_total();
     // 100us compute + sub-us send post.
     assert!(busy >= SimDuration::from_micros(100));
@@ -501,8 +501,8 @@ fn ack_coalescing_cuts_control_traffic_without_losing_anything() {
         let msgs: Vec<(NodeId, Bytes, u64)> = (0..10)
             .map(|i| (NodeId(1), payload(12_000, i as u8), i)) // 3 packets each
             .collect();
-        let recv: RecvLog = Rc::default();
-        let done: DoneLog = Rc::default();
+        let recv: RecvLog = Arc::default();
+        let done: DoneLog = Arc::default();
         c.set_app(
             NodeId(0),
             Box::new(ScriptedSender::new(msgs, false, done.clone())),
@@ -510,8 +510,8 @@ fn ack_coalescing_cuts_control_traffic_without_losing_anything() {
         c.set_app(NodeId(1), Box::new(Sink::new(10, recv.clone())));
         let mut eng = c.into_engine();
         eng.run_to_idle();
-        assert_eq!(recv.borrow().len(), 10, "all messages delivered");
-        assert_eq!(done.borrow().len(), 10, "all sends completed");
+        assert_eq!(recv.lock().unwrap().len(), 10, "all messages delivered");
+        assert_eq!(done.lock().unwrap().len(), 10, "all sends completed");
         let acks = eng.world().nic(NodeId(1)).counters.get("tx_acks");
         let retx = eng.world().nic(NodeId(0)).counters.get("retransmissions");
         assert_eq!(retx, 0, "coalescing must not trigger timeouts");

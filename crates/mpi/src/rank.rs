@@ -382,7 +382,7 @@ impl RankApp {
         // simlint::allow(units, "skew draw is raw nanoseconds by construction; positive after the guard above")
         let d = SimDuration::from_nanos(draw as u64);
         if self.bcast_ordinal >= self.cfg.warmup {
-            self.stats.borrow_mut().skew_applied.record_duration(d);
+            self.stats.lock().expect("shared app state mutex poisoned").skew_applied.record_duration(d);
         }
         ctx.compute(d, tag(Ctx::Internal, INTERNAL_OP));
         self.wait = Wait::ComputeDone;
@@ -404,7 +404,7 @@ impl RankApp {
     fn record_barrier_exit(&mut self, ctx: &mut HostCtx<'_, McastExt>) {
         let ordinal = self.barrier_seq - 1;
         self.stats
-            .borrow_mut()
+            .lock().expect("shared app state mutex poisoned")
             .record_barrier_exit(ordinal, ctx.cpu_now());
     }
 
@@ -537,7 +537,7 @@ impl RankApp {
         };
         if self.bcast_is_root {
             self.stats
-                .borrow_mut()
+                .lock().expect("shared app state mutex poisoned")
                 .record_enter(self.bcast_ordinal, self.bcast_enter);
         }
         let nic = self.cfg.bcast == BcastImpl::NicBased
@@ -740,7 +740,7 @@ impl RankApp {
     /// Record this rank's bcast exit.
     fn finish_bcast(&mut self, ctx: &mut HostCtx<'_, McastExt>) {
         let exit = ctx.cpu_now();
-        self.stats.borrow_mut().record_exit(
+        self.stats.lock().expect("shared app state mutex poisoned").record_exit(
             self.bcast_ordinal,
             self.bcast_is_root,
             self.bcast_enter,

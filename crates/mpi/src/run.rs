@@ -218,7 +218,7 @@ pub fn execute_mpi(run: &MpiRun) -> MpiOutput {
         gm_sim::RunOutcome::Idle,
         "MPI run did not converge"
     );
-    let s = stats.borrow();
+    let s = stats.lock().expect("shared app state mutex poisoned");
     let expected: u64 = comm
         .iter()
         .map(|&r| {

@@ -1,7 +1,7 @@
 //! Measurements shared by every rank of an MPI run.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Mutex;
+use std::sync::Arc;
 
 use gm_sim::{OnlineStats, SimTime};
 
@@ -28,13 +28,13 @@ pub struct MpiStats {
 }
 
 /// Shared handle to the run's stats.
-pub type SharedStats = Rc<RefCell<MpiStats>>;
+pub type SharedStats = Arc<Mutex<MpiStats>>;
 
 impl MpiStats {
     /// Pre-sized stats for `total` broadcast ordinals and `barriers`
     /// barrier ordinals.
     pub fn new(warmup: u32, total: u32, barriers: u32) -> SharedStats {
-        Rc::new(RefCell::new(MpiStats {
+        Arc::new(Mutex::new(MpiStats {
             warmup,
             enter_root: vec![SimTime::ZERO; total as usize],
             exit_max: vec![SimTime::ZERO; total as usize],
@@ -110,7 +110,7 @@ mod tests {
     #[test]
     fn latency_is_max_exit_minus_root_enter() {
         let shared = MpiStats::new(1, 3, 0);
-        let mut s = shared.borrow_mut();
+        let mut s = shared.lock().expect("shared app state mutex poisoned");
         for ord in 0..3u32 {
             let base = SimTime::from_nanos(1_000 * ord as u64);
             s.record_enter(ord, base);

@@ -14,11 +14,11 @@
 //! path simultaneously); for the paper's tree-ordered traffic the critical
 //! path is identical. See DESIGN.md §7.
 
-use gm_sim::{Counters, DetRng, SimDuration, SimTime};
+use gm_sim::{splitmix64, Counters, SimDuration, SimTime};
 
 use crate::fault::{DropReason, FaultPlan};
-use crate::packet::Packet;
-use crate::topology::{RouteTable, Topology};
+use crate::packet::{NodeId, Packet};
+use crate::topology::{LinkId, RouteTable, Topology};
 
 /// Physical-layer timing constants.
 #[derive(Clone, Copy, Debug)]
@@ -39,6 +39,59 @@ impl Default for NetParams {
             wire_prop: SimDuration::from_nanos(100),
         }
     }
+}
+
+impl NetParams {
+    /// The minimum time between a packet's injection and its head reaching
+    /// the first link beyond the injection segment: one cable propagation
+    /// plus one switch traversal, with contention only adding to it. This is
+    /// the fabric's intrinsic *lookahead* — the conservative window width
+    /// parallel execution may use (see `gm_sim::parallel`).
+    pub fn min_wire_latency(&self) -> SimDuration {
+        self.wire_prop + self.hop_delay
+    }
+}
+
+/// A packet in flight across the route's ownership boundary: the
+/// source-owned links (injection, and the leaf up-link on cross-leaf Clos
+/// routes) are already reserved by [`Fabric::tx_stage`]; the head reaches
+/// the first destination-owned link at `head_at`, where
+/// [`Fabric::rx_stage`] finishes the route.
+#[derive(Clone, Debug)]
+pub struct WireHandoff {
+    /// The packet (owns the payload across the boundary).
+    pub pkt: Packet,
+    /// Head arrival at the first destination-owned link.
+    pub head_at: SimTime,
+    /// Per-source injection sequence number; `(head_at, src, wire_seq)` is
+    /// the canonical, mode-independent ordering key for boundary arrivals.
+    pub wire_seq: u64,
+}
+
+/// Outcome of [`Fabric::tx_stage`].
+#[derive(Debug)]
+pub struct TxVerdict {
+    /// When the injection link drains (the sender may start its next
+    /// packet's serialization then).
+    pub src_free: SimTime,
+    /// The boundary hand-off to finish with [`Fabric::rx_stage`].
+    pub handoff: WireHandoff,
+}
+
+/// Outcome of [`Fabric::rx_stage`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RxOutcome {
+    /// The packet's tail reaches the destination NIC at `at`.
+    Delivered {
+        /// Tail arrival at the destination NIC.
+        at: SimTime,
+    },
+    /// The packet was lost (or delivered corrupt and discarded). The links
+    /// were still occupied.
+    Dropped {
+        /// Why.
+        reason: DropReason,
+    },
 }
 
 /// Outcome of injecting one packet.
@@ -73,6 +126,11 @@ impl Verdict {
 }
 
 /// The network: topology + per-link occupancy + faults + counters.
+///
+/// `Clone` exists for sharded runs: each shard clones the (fresh) fabric and
+/// thereafter touches only the link state its nodes own, so the clones never
+/// diverge on shared state. Counters are merged at the end of the run.
+#[derive(Clone)]
 pub struct Fabric {
     topo: Topology,
     /// All routes interned once at construction; `inject` borrows slices from
@@ -82,11 +140,19 @@ pub struct Fabric {
     busy_until: Vec<SimTime>,
     /// Accumulated serialization time per link (for utilization reports).
     busy_time: Vec<SimDuration>,
-    /// Total per-hop contention stall of the most recent `inject` (time the
-    /// head spent waiting for busy links along the route).
+    /// Total per-hop contention stall of the most recent `inject` /
+    /// `tx_stage` / `rx_stage` (time the head spent waiting for busy links
+    /// along the reserved segment).
     last_stall: SimDuration,
     faults: FaultPlan,
-    rng: DetRng,
+    /// Seed for the stateless per-packet fault draw: the drop decision for a
+    /// packet is a pure function of `(fault_seed, src, wire_seq)`, so it does
+    /// not depend on the global interleaving of injections — a prerequisite
+    /// for sharded execution matching the sequential reference bit-for-bit.
+    fault_seed: u64,
+    /// Per-source injection counter feeding the fault draw and the canonical
+    /// `(head_at, src, wire_seq)` boundary ordering key.
+    wire_seq: Vec<u64>,
     counters: Counters,
 }
 
@@ -99,6 +165,7 @@ impl Fabric {
     /// Full configuration.
     pub fn with_config(topo: Topology, params: NetParams, faults: FaultPlan, seed: u64) -> Fabric {
         let n_links = topo.n_links();
+        let n_nodes = topo.n_nodes();
         let routes = topo.route_table();
         Fabric {
             topo,
@@ -108,7 +175,8 @@ impl Fabric {
             busy_time: vec![SimDuration::ZERO; n_links],
             last_stall: SimDuration::ZERO,
             faults,
-            rng: DetRng::new(seed, "fabric-faults"),
+            fault_seed: splitmix64(seed ^ 0x6661_6272_6963_2d66), // "fabric-f"
+            wire_seq: vec![0; n_nodes as usize],
             counters: Counters::new(),
         }
     }
@@ -136,6 +204,11 @@ impl Fabric {
     /// Replace the fault plan mid-run (used by failure-injection tests).
     pub fn set_faults(&mut self, faults: FaultPlan) {
         self.faults = faults;
+    }
+
+    /// The fault plan in use.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Accumulated serialization time on link `id`.
@@ -181,54 +254,169 @@ impl Fabric {
     /// Reserves every link on the route and returns either the delivery time
     /// at the destination NIC or a drop verdict. The caller (the NIC model)
     /// must not start another transmission before `src_free`.
-    // simlint::hot
+    ///
+    /// Equivalent to [`tx_stage`](Self::tx_stage) followed immediately by
+    /// [`rx_stage`](Self::rx_stage): the sequential engine runs both
+    /// back-to-back (via the cluster's wire buffer), the sharded engine runs
+    /// them on the source and destination shard respectively.
     pub fn inject(&mut self, now: SimTime, pkt: &Packet) -> Verdict {
-        // Borrowing the interned route (disjoint from the per-link state
-        // mutated below) keeps this path allocation-free.
-        let route = self.routes.route(pkt.src, pkt.dst);
-        debug_assert!(!route.is_empty());
+        let tx = self.tx_stage(now, pkt.clone());
+        let tx_stall = self.last_stall;
+        let out = self.rx_stage(&tx.handoff);
+        self.last_stall += tx_stall;
+        match out {
+            RxOutcome::Delivered { at } => Verdict::Delivered {
+                at,
+                src_free: tx.src_free,
+            },
+            RxOutcome::Dropped { reason } => Verdict::Dropped {
+                reason,
+                src_free: tx.src_free,
+            },
+        }
+    }
+
+    /// Stage 1 of a transfer: reserve the source-owned half of the route
+    /// (the injection link, plus the up-link on cross-leaf Clos routes) and
+    /// compute when the head crosses into the destination-owned half.
+    ///
+    /// Touches only state owned by `pkt.src`'s side of the route, so under a
+    /// leaf-aligned sharding it may run concurrently with any other shard.
+    // simlint::hot
+    pub fn tx_stage(&mut self, now: SimTime, pkt: Packet) -> TxVerdict {
+        let (links, len) = self.route_array(pkt.src, pkt.dst);
+        let cut = len / 2;
         let ser = SimDuration::for_bytes(pkt.wire_bytes(), self.params.link_bandwidth);
-
-        // Head propagation with per-link contention.
-        let mut head = now;
-        let mut src_free = SimTime::ZERO;
-        let mut stall = SimDuration::ZERO;
-        for (i, link) in route.iter().enumerate() {
-            let start = head.max(self.busy_until[link.idx()]);
-            stall += start.saturating_since(head);
-            self.busy_until[link.idx()] = start + ser;
-            self.busy_time[link.idx()] += ser;
-            if i == 0 {
-                src_free = start + ser;
-            }
-            // Head reaches the far end of this link, then pays the routing
-            // delay if another switch follows.
-            head = start + self.params.wire_prop;
-            if i + 1 < route.len() {
-                head += self.params.hop_delay;
-            }
-        }
-        let delivered_at = head + ser;
-        self.last_stall = stall;
-        if stall > SimDuration::ZERO {
-            self.counters.add("stall_ns", stall.as_nanos());
-        }
-
+        let (head_at, src_free) = self.reserve_segment(&links, 0, cut, len, now, ser);
         self.counters.add("wire_bytes", pkt.wire_bytes());
-        let draw = self.rng.unit();
+        let wire_seq = self.wire_seq[pkt.src.idx()];
+        self.wire_seq[pkt.src.idx()] += 1;
+        TxVerdict {
+            src_free,
+            handoff: WireHandoff {
+                pkt,
+                head_at,
+                wire_seq,
+            },
+        }
+    }
+
+    /// Stage 2 of a transfer: at `handoff.head_at`, reserve the
+    /// destination-owned half of the route, decide the packet's fate, and
+    /// return the tail-arrival time (or drop reason).
+    ///
+    /// Touches only state owned by `pkt.dst`'s side of the route. The fault
+    /// draw is a pure function of `(fault_seed, src, wire_seq)`, so the
+    /// verdict is identical no matter which engine (or shard) runs it.
+    // simlint::hot
+    pub fn rx_stage(&mut self, handoff: &WireHandoff) -> RxOutcome {
+        let pkt = &handoff.pkt;
+        let (links, len) = self.route_array(pkt.src, pkt.dst);
+        let cut = len / 2;
+        let ser = SimDuration::for_bytes(pkt.wire_bytes(), self.params.link_bandwidth);
+        let (head, _) = self.reserve_segment(&links, cut, len, len, handoff.head_at, ser);
+        let delivered_at = head + ser;
+        let draw = self.fault_draw(pkt.src, handoff.wire_seq);
         if let Some(reason) = self.faults.check(pkt, draw) {
             self.counters.bump(match reason {
                 DropReason::Random => "dropped_random",
                 DropReason::Rule(_) => "dropped_rule",
                 DropReason::Corrupt => "dropped_corrupt",
             });
-            return Verdict::Dropped { reason, src_free };
+            return RxOutcome::Dropped { reason };
         }
         self.counters.bump("delivered");
-        Verdict::Delivered {
-            at: delivered_at,
-            src_free,
+        RxOutcome::Delivered { at: delivered_at }
+    }
+
+    /// The per-packet loss draw: a splitmix64 chain over the seed, source,
+    /// and that source's injection sequence number. Stateless by design —
+    /// unlike an ordered RNG stream, the draw for packet `k` from node `s`
+    /// does not depend on how injections from other nodes interleave.
+    fn fault_draw(&self, src: NodeId, wire_seq: u64) -> f64 {
+        let z = splitmix64(splitmix64(self.fault_seed ^ u64::from(src.0)) ^ wire_seq);
+        // Top 53 bits -> uniform in [0, 1).
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Copy the interned route into a fixed array so `&mut self` methods can
+    /// walk it while mutating per-link state. Routes are at most 4 links
+    /// (inject, up, down, eject on cross-leaf Clos paths).
+    #[inline]
+    fn route_array(&self, src: NodeId, dst: NodeId) -> ([LinkId; 4], usize) {
+        let route = self.routes.route(src, dst);
+        debug_assert!(!route.is_empty() && route.len() <= 4);
+        let mut links = [LinkId(0); 4];
+        links[..route.len()].copy_from_slice(route);
+        (links, route.len())
+    }
+
+    /// Reserve `links[lo..hi]` of a route of `route_len` links, starting
+    /// with the head at `head`. `lo..hi` are global route indices, so the
+    /// final hop of the *route* (not of the segment) correctly omits
+    /// `hop_delay`. Returns the head time past the segment and the
+    /// free-time of the segment's first link; updates `last_stall` with the
+    /// contention encountered in this segment.
+    // simlint::hot
+    fn reserve_segment(
+        &mut self,
+        links: &[LinkId],
+        lo: usize,
+        hi: usize,
+        route_len: usize,
+        mut head: SimTime,
+        ser: SimDuration,
+    ) -> (SimTime, SimTime) {
+        let mut first_free = SimTime::ZERO;
+        let mut stall = SimDuration::ZERO;
+        for (i, &link) in links.iter().enumerate().take(hi).skip(lo) {
+            let start = head.max(self.busy_until[link.idx()]);
+            stall += start.saturating_since(head);
+            self.busy_until[link.idx()] = start + ser;
+            self.busy_time[link.idx()] += ser;
+            if i == lo {
+                first_free = start + ser;
+            }
+            // Head reaches the far end of this link, then pays the routing
+            // delay if another switch follows.
+            head = start + self.params.wire_prop;
+            if i + 1 < route_len {
+                head += self.params.hop_delay;
+            }
         }
+        self.last_stall = stall;
+        if stall > SimDuration::ZERO {
+            self.counters.add("stall_ns", stall.as_nanos());
+        }
+        (head, first_free)
+    }
+
+    /// The minimum boundary offset over all cross-shard `(src, dst)` pairs:
+    /// the earliest a packet injected "now" on one shard can require state
+    /// owned by another. This is the *lookahead* a windowed parallel run may
+    /// safely use. `None` if no pair crosses shards (single shard).
+    pub fn cross_lookahead(&self, shard_of: &[u32]) -> Option<SimDuration> {
+        let n = self.topo.n_nodes();
+        debug_assert_eq!(shard_of.len(), n as usize);
+        let mut min: Option<SimDuration> = None;
+        for src in 0..n {
+            for dst in 0..n {
+                if src == dst || shard_of[src as usize] == shard_of[dst as usize] {
+                    continue;
+                }
+                let route = self.routes.route(NodeId(src), NodeId(dst));
+                let cut = route.len() / 2;
+                // Unloaded head offset through the TX-owned segment:
+                // each of the `cut` links pays wire_prop + hop_delay
+                // (a switch always follows, since cut < route.len()).
+                let off = (self.params.wire_prop + self.params.hop_delay) * cut as u64;
+                min = Some(match min {
+                    Some(m) if m <= off => m,
+                    _ => off,
+                });
+            }
+        }
+        min
     }
 }
 
@@ -386,6 +574,84 @@ mod tests {
         let (hot, busy) = f.hottest_link();
         assert_eq!(busy, ser * 2);
         assert!(hot == inject_link || f.link_busy(hot) == busy);
+    }
+
+    #[test]
+    fn two_stage_matches_atomic_inject() {
+        // Replaying the same injection schedule through explicit tx/rx
+        // stages must reproduce the atomic verdicts exactly (inject is
+        // defined as tx_stage + rx_stage back-to-back).
+        let schedule = [(0u32, 1u32, 0u64), (2, 1, 0), (0, 3, 200), (1, 0, 900)];
+        let mut atomic = fabric(4);
+        let mut staged = fabric(4);
+        for &(s, d, t_ns) in &schedule {
+            let t = SimTime::from_nanos(t_ns);
+            let p = pkt(s, d, 1500);
+            let v = atomic.inject(t, &p);
+            let tx = staged.tx_stage(t, p.clone());
+            let rx = staged.rx_stage(&tx.handoff);
+            match (v, rx) {
+                (Verdict::Delivered { at, src_free }, RxOutcome::Delivered { at: at2 }) => {
+                    assert_eq!(at, at2);
+                    assert_eq!(src_free, tx.src_free);
+                }
+                (v, rx) => panic!("verdicts diverge: {v:?} vs {rx:?}"),
+            }
+        }
+        assert_eq!(
+            atomic.counters().get("delivered"),
+            staged.counters().get("delivered")
+        );
+        assert_eq!(
+            atomic.counters().get("stall_ns"),
+            staged.counters().get("stall_ns")
+        );
+    }
+
+    #[test]
+    fn fault_draw_is_stateless_per_packet() {
+        // The drop fate of (src, wire_seq) must not depend on what other
+        // sources injected in between — the property that lets shards decide
+        // fates independently.
+        let topo = Topology::for_nodes(4);
+        let plan = || FaultPlan::with_loss(0.5);
+        let mut a = Fabric::with_config(topo.clone(), NetParams::default(), plan(), 42);
+        let mut b = Fabric::with_config(topo.clone(), NetParams::default(), plan(), 42);
+        let mut t = SimTime::ZERO;
+        let mut fates_a = Vec::new();
+        for i in 0..64 {
+            // `a` interleaves node 2's traffic between node 0's packets.
+            let _ = a.inject(t, &pkt(2, 3, 64));
+            fates_a.push(matches!(a.inject(t, &pkt(0, 1, 64)), Verdict::Dropped { .. }));
+            t += SimDuration::from_micros(10 * (i + 1));
+        }
+        let mut t = SimTime::ZERO;
+        for (i, &fate) in fates_a.iter().enumerate() {
+            let got = matches!(b.inject(t, &pkt(0, 1, 64)), Verdict::Dropped { .. });
+            assert_eq!(got, fate, "packet {i} fate changed with interleaving");
+            t += SimDuration::from_micros(10 * (i as u64 + 1));
+        }
+    }
+
+    #[test]
+    fn cross_lookahead_matches_boundary_offsets() {
+        // Crossbar: boundary after the inject link = wire + hop.
+        let f = fabric(4);
+        let shard_of = f.topology().partition(2);
+        assert_eq!(
+            f.cross_lookahead(&shard_of),
+            Some(SimDuration::from_nanos(400))
+        );
+        // Leaf-aligned Clos: every cross-shard pair is cross-leaf, boundary
+        // after inject + up = 2 * (wire + hop).
+        let f = fabric(64);
+        let shard_of = f.topology().partition(4);
+        assert_eq!(
+            f.cross_lookahead(&shard_of),
+            Some(SimDuration::from_nanos(800))
+        );
+        // Single shard: nothing crosses.
+        assert_eq!(f.cross_lookahead(&vec![0; 64]), None);
     }
 
     #[test]

@@ -28,7 +28,7 @@ mod fault;
 mod packet;
 mod topology;
 
-pub use fabric::{Fabric, NetParams, Verdict};
+pub use fabric::{Fabric, NetParams, RxOutcome, TxVerdict, Verdict, WireHandoff};
 pub use fault::{DropReason, DropRule, FaultPlan};
 pub use packet::{GroupId, NodeId, Packet, PacketKind, PortId, HEADER_BYTES, MTU};
 pub use topology::{LinkEnds, LinkId, SwitchId, TopoKind, Topology, SWITCH_PORTS};

@@ -235,6 +235,33 @@ impl Topology {
         RouteTable::new(self)
     }
 
+    /// Partition the nodes into at most `n_shards` contiguous groups whose
+    /// link state is disjoint under the fabric's two-stage reservation
+    /// protocol (`tx_stage` touches the source-owned route prefix,
+    /// `rx_stage` the destination-owned suffix).
+    ///
+    /// On a crossbar every route is `[inject(src), eject(dst)]`, so any
+    /// split works and nodes are divided evenly. On a Clos the up-links
+    /// `up[leaf][spine]` are shared by every host of `leaf` (and the
+    /// down-links by every host of the destination leaf), so the split must
+    /// be *leaf-aligned*: whole leaves are grouped, never divided. The
+    /// returned map has `shard_of[node] < n` for some `n <= n_shards`
+    /// (fewer shards than requested when there are not enough leaves).
+    pub fn partition(&self, n_shards: u32) -> Vec<u32> {
+        let n_shards = n_shards.max(1);
+        // The indivisible placement unit: a node (crossbar) or a leaf (Clos).
+        let unit_of = |node: u32| match self.kind {
+            TopoKind::SingleCrossbar => node,
+            TopoKind::Clos { hosts_per_leaf, .. } => node / hosts_per_leaf,
+        };
+        let units = unit_of(self.n_nodes - 1) + 1;
+        let shards = n_shards.min(units);
+        // `u * shards / units` yields contiguous, balanced groups.
+        (0..self.n_nodes)
+            .map(|node| unit_of(node) * shards / units)
+            .collect()
+    }
+
     /// Render the topology as Graphviz DOT (nodes as boxes, switches as
     /// ellipses; one undirected edge per link pair).
     pub fn to_dot(&self) -> String {
@@ -481,5 +508,41 @@ mod tests {
     #[should_panic(expected = "no self-route")]
     fn route_table_self_route_panics() {
         Topology::for_nodes(4).route_table().route(NodeId(1), NodeId(1));
+    }
+
+    #[test]
+    fn partition_crossbar_is_contiguous_and_balanced() {
+        let t = Topology::for_nodes(8);
+        let p = t.partition(4);
+        assert_eq!(p, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn partition_clos_never_splits_a_leaf() {
+        let t = Topology::for_nodes(64); // 8 leaves x 8 hosts
+        for shards in [1u32, 2, 3, 4, 7, 8, 64] {
+            let p = t.partition(shards);
+            assert_eq!(p.len(), 64);
+            for n in 0..64usize {
+                assert_eq!(p[n], p[n - n % 8], "leaf of node {n} split at {shards} shards");
+            }
+            // Contiguous and starting at zero.
+            assert_eq!(p[0], 0);
+            for w in p.windows(2) {
+                assert!(w[1] == w[0] || w[1] == w[0] + 1);
+            }
+            let max = *p.iter().max().unwrap();
+            assert!(max < shards.min(8));
+        }
+    }
+
+    #[test]
+    fn partition_clamps_to_available_units() {
+        // 24 nodes -> 3 leaves; asking for 8 shards yields only 3.
+        let t = Topology::for_nodes(24);
+        let p = t.partition(8);
+        assert_eq!(*p.iter().max().unwrap(), 2);
+        // One node, any request -> single shard.
+        assert_eq!(Topology::for_nodes(1).partition(4), vec![0]);
     }
 }

@@ -18,7 +18,7 @@ pub mod dispatch_stats {
     static EVENTS: AtomicU64 = AtomicU64::new(0);
     static WALL_NANOS: AtomicU64 = AtomicU64::new(0);
 
-    pub(super) fn add(events: u64, wall: std::time::Duration) {
+    pub(crate) fn add(events: u64, wall: std::time::Duration) {
         if events > 0 {
             EVENTS.fetch_add(events, Ordering::Relaxed);
             // simlint::allow(units, "std::time::Duration wall-clock stat, not SimTime")
@@ -54,7 +54,7 @@ pub struct Scheduler<E> {
 }
 
 impl<E> Scheduler<E> {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Scheduler {
             now: SimTime::ZERO,
             queue: EventQueue::new(),
@@ -94,9 +94,37 @@ impl<E> Scheduler<E> {
         self.queue.push(self.now, event);
     }
 
+    /// Schedule a wire-boundary event: at its instant it is delivered before
+    /// every normally-scheduled event, regardless of scheduling order. This
+    /// gives packet hand-offs a canonical position within the instant that
+    /// is identical in sequential and sharded runs (see `sim::parallel`).
+    #[inline]
+    pub fn at_wire(&mut self, time: SimTime, event: E) {
+        assert!(
+            time >= self.now,
+            "scheduling into the past: {time} < {}",
+            self.now
+        );
+        self.queue.push_wire(time, event);
+    }
+
     /// Number of pending events.
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Earliest pending event time (`None` when idle). `&mut` because the
+    /// wheel refills its active tier lazily.
+    pub(crate) fn peek_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Pop the earliest event and advance the clock to it (window run loops).
+    pub(crate) fn pop_advance(&mut self) -> Option<(SimTime, E)> {
+        let (time, event) = self.queue.pop()?;
+        debug_assert!(time >= self.now, "time went backwards");
+        self.now = time;
+        Some((time, event))
     }
 }
 

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod parallel;
 pub mod probe;
 mod queue;
 mod rng;
@@ -44,8 +45,9 @@ mod stats;
 mod time;
 
 pub use engine::{dispatch_stats, Engine, RunOutcome, Scheduler, World};
+pub use parallel::{Outbox, ShardWorld, ShardedEngine};
 pub use probe::{Metrics, ProbeConfig, ProbeEvent, ProbeSink};
-pub use queue::{default_kind as default_queue_kind, EventQueue, QueueKind};
+pub use queue::{default_kind as default_queue_kind, EventClass, EventQueue, QueueKind};
 pub use rng::{splitmix64, DetRng};
 pub use stats::{BusyTracker, Counters, Histogram, OnlineStats};
 pub use time::{SimDuration, SimTime};

@@ -318,6 +318,43 @@ impl ProbeSink {
     pub fn to_vec(&self) -> Vec<ProbeEvent> {
         self.iter().copied().collect()
     }
+
+    /// Merge per-shard sinks into one canonical stream: a stable sort by
+    /// `(time, node)` (preserving each sink's internal order) followed by a
+    /// seq renumbering.
+    ///
+    /// Both the sequential and the sharded scenario paths run their streams
+    /// through this, so the two modes produce byte-identical probe output:
+    /// a node's records are emitted by exactly one shard in an order that
+    /// does not depend on the sharding, and records of different nodes at
+    /// the same instant come from commuting handlers, so `(time, node)` plus
+    /// per-sink order is a total, mode-independent key. (If any ring
+    /// evicted, per-shard rings evict different records than one global ring
+    /// would — size the capacity to the run when exact parity matters.)
+    pub fn merge_canonical(sinks: Vec<ProbeSink>) -> ProbeSink {
+        let enabled = sinks.iter().any(ProbeSink::is_enabled);
+        let capacity: usize = sinks.iter().map(|s| s.config.capacity).sum();
+        let evicted: u64 = sinks.iter().map(|s| s.evicted).sum();
+        let mut events: Vec<ProbeEvent> = Vec::with_capacity(sinks.iter().map(ProbeSink::len).sum());
+        for sink in &sinks {
+            events.extend(sink.iter().copied());
+        }
+        events.sort_by_key(|e| (e.time, e.node));
+        for (i, e) in events.iter_mut().enumerate() {
+            e.seq = i as u64;
+        }
+        let seq = events.len() as u64;
+        ProbeSink {
+            config: ProbeConfig {
+                enabled,
+                capacity: capacity.max(events.len()),
+            },
+            events,
+            head: 0,
+            seq,
+            evicted,
+        }
+    }
 }
 
 /// A per-run snapshot of every counter/gauge, keyed `"<layer>.<counter>"`.

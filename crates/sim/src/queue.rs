@@ -25,23 +25,39 @@ use std::sync::OnceLock;
 
 use crate::time::SimTime;
 
+/// Delivery class within an instant. Wire-boundary events sort before all
+/// ordinary events scheduled for the same nanosecond, regardless of when
+/// either was pushed. This gives cross-shard packet hand-offs a canonical
+/// position in the instant that does not depend on scheduling order — the
+/// property the parallel engine's deterministic merge rests on (the
+/// sequential engine uses the same rule, so both modes agree bit-for-bit).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum EventClass {
+    /// A wire hand-off boundary (drained first at its instant).
+    Wire = 0,
+    /// An ordinary event (FIFO after any wire boundaries at the instant).
+    Normal = 1,
+}
+
 struct Entry<E> {
     time: SimTime,
+    class: EventClass,
     seq: u64,
     event: E,
 }
 
 impl<E> Entry<E> {
-    /// Chronological sort key; FIFO within an instant.
+    /// Chronological sort key; wire boundaries first, then FIFO, within an
+    /// instant.
     #[inline]
-    fn key(&self) -> (SimTime, u64) {
-        (self.time, self.seq)
+    fn key(&self) -> (SimTime, EventClass, u64) {
+        (self.time, self.class, self.seq)
     }
 }
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.key() == other.key()
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -54,8 +70,8 @@ impl<E> PartialOrd for Entry<E> {
 
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so earlier (time, seq) pops first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+        // BinaryHeap is a max-heap; invert so the earliest key pops first.
+        other.key().cmp(&self.key())
     }
 }
 
@@ -332,9 +348,26 @@ impl<E> EventQueue<E> {
     /// Schedule `event` to fire at `time`.
     // simlint::hot
     pub fn push(&mut self, time: SimTime, event: E) {
+        self.push_class(time, EventClass::Normal, event);
+    }
+
+    /// Schedule a wire-boundary event at `time`: it pops before every
+    /// [`EventClass::Normal`] event at the same instant, whenever it was
+    /// pushed. Used for packet hand-off drains (see [`EventClass`]).
+    pub fn push_wire(&mut self, time: SimTime, event: E) {
+        self.push_class(time, EventClass::Wire, event);
+    }
+
+    // simlint::hot
+    fn push_class(&mut self, time: SimTime, class: EventClass, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let entry = Entry { time, seq, event };
+        let entry = Entry {
+            time,
+            class,
+            seq,
+            event,
+        };
         match &mut self.inner {
             Inner::Wheel(w) => w.push(entry),
             Inner::Heap(h) => h.push(entry),
@@ -455,6 +488,32 @@ mod tests {
     }
 
     #[test]
+    fn wire_class_pops_before_normal_at_same_instant() {
+        for mut q in both() {
+            q.push(t(500), 1);
+            q.push(t(500), 2);
+            // Pushed last, but the wire class drains first at its instant.
+            q.push_wire(t(500), 0);
+            q.push(t(400), -1);
+            assert_eq!(q.pop(), Some((t(400), -1)));
+            assert_eq!(q.pop(), Some((t(500), 0)));
+            assert_eq!(q.pop(), Some((t(500), 1)));
+            assert_eq!(q.pop(), Some((t(500), 2)));
+        }
+    }
+
+    #[test]
+    fn wire_class_is_fifo_within_itself() {
+        for mut q in both() {
+            q.push_wire(t(9), 0);
+            q.push(t(9), 2);
+            q.push_wire(t(9), 1);
+            let order: Vec<i64> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+            assert_eq!(order, vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
     fn wheel_spans_bucket_and_far_boundaries() {
         let mut q = EventQueue::wheel();
         // One imminent event anchors the wheel, then events land in every
@@ -507,8 +566,13 @@ mod tests {
                     2 => rnd() % (WINDOW / 2),      // mid wheel
                     _ => WINDOW + rnd() % WINDOW,   // far heap
                 };
-                wheel.push(t(now + dt), i);
-                heap.push(t(now + dt), i);
+                if rnd() % 8 == 0 {
+                    wheel.push_wire(t(now + dt), i);
+                    heap.push_wire(t(now + dt), i);
+                } else {
+                    wheel.push(t(now + dt), i);
+                    heap.push(t(now + dt), i);
+                }
             } else {
                 assert_eq!(wheel.peek_time(), heap.peek_time());
                 let (a, b) = (wheel.pop(), heap.pop());

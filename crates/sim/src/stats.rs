@@ -259,6 +259,16 @@ impl Counters {
     pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
         self.entries.iter().copied()
     }
+
+    /// Add every counter of `other` into `self` (shard-merge). The result is
+    /// order-canonicalized by name so a merged set serializes identically no
+    /// matter how creation order differed across shards.
+    pub fn merge_from(&mut self, other: &Counters) {
+        for (name, v) in other.iter() {
+            self.add(name, v);
+        }
+        self.entries.sort_by_key(|e| e.0);
+    }
 }
 
 #[cfg(test)]

@@ -522,17 +522,21 @@ fn scan_rules(
                 message: format!("`{}` reads the wall clock inside simulator code", t.text),
             });
         }
-        // det-thread: `thread::spawn`.
+        // det-thread: `thread::spawn` / `thread::scope` (scoped workers can
+        // leak nondeterminism just as easily as detached ones).
         if !class.walltime_exempt
             && t.text == "thread"
             && punct_at(toks, i + 1, ':')
             && punct_at(toks, i + 2, ':')
-            && ident_at(toks, i + 3, "spawn")
+            && (ident_at(toks, i + 3, "spawn") || ident_at(toks, i + 3, "scope"))
         {
             diags.push(RawDiag {
                 rule: DET_THREAD,
                 line: t.line,
-                message: "`thread::spawn` inside simulator code".to_string(),
+                message: format!(
+                    "`thread::{}` inside simulator code",
+                    toks[i + 3].text
+                ),
             });
         }
         // units: `as_nanos() as ...` / `as_micros_f64() as ...`.
@@ -975,8 +979,8 @@ mod tests {
     }
 
     #[test]
-    fn thread_spawn_flagged_scope_not() {
+    fn thread_spawn_and_scope_flagged() {
         assert_eq!(strict("thread::spawn(|| {});\n")[0].rule, "det-thread");
-        assert!(strict("thread::scope(|s| {});\n").is_empty());
+        assert_eq!(strict("thread::scope(|s| {});\n")[0].rule, "det-thread");
     }
 }

@@ -6,8 +6,8 @@
 //!
 //! Run with: `cargo run --release --example nic_collectives`
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Mutex;
+use std::sync::Arc;
 
 use myri_mcast::gm::{Cluster, GmParams, HostApp, HostCtx, Notice};
 use myri_mcast::mcast::{
@@ -24,7 +24,7 @@ struct App {
     me: NodeId,
     tree: SpanningTree,
     phase: u32,
-    log: Rc<RefCell<Vec<String>>>,
+    log: Arc<Mutex<Vec<String>>>,
 }
 
 impl HostApp<McastExt> for App {
@@ -48,7 +48,7 @@ impl HostApp<McastExt> for App {
             Notice::Ext(McastNotice::BarrierDone { tag, .. }) => {
                 if self.me.0 == 0 {
                     self.log
-                        .borrow_mut()
+                        .lock().expect("shared app state mutex poisoned")
                         .push(format!("[{}] barrier {tag} done", ctx.now()));
                 }
                 self.phase += 1;
@@ -65,7 +65,7 @@ impl HostApp<McastExt> for App {
             Notice::Ext(McastNotice::AllreduceDone { result, tag, .. }) => {
                 if self.me.0 == 0 {
                     self.log
-                        .borrow_mut()
+                        .lock().expect("shared app state mutex poisoned")
                         .push(format!("[{}] allreduce {tag} => {result}", ctx.now()));
                 }
                 self.phase += 1;
@@ -91,7 +91,7 @@ fn main() {
     let fabric = Fabric::new(Topology::for_nodes(N), 7);
     let dests: Vec<NodeId> = (1..N).map(NodeId).collect();
     let tree = SpanningTree::build(NodeId(0), &dests, TreeShape::Binomial);
-    let log = Rc::new(RefCell::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
     let mut cluster = Cluster::new(GmParams::default(), fabric, |_| McastExt::new());
     for i in 0..N {
         cluster.set_app(
@@ -107,7 +107,7 @@ fn main() {
     let mut eng = cluster.into_engine();
     eng.run_to_idle();
     println!("NIC-level collectives over an {N}-node group (binomial tree):\n");
-    for line in log.borrow().iter() {
+    for line in log.lock().expect("shared app state mutex poisoned").iter() {
         println!("  {line}");
     }
     println!(

@@ -40,10 +40,33 @@ run run -q -p simlint "${CARGO_FLAGS[@]}" -- --workspace
 echo "ci: simlint report at results/simlint_report.json"
 
 # Observability gate: one probed run must export a Perfetto-loadable Chrome
-# trace-event document (--check re-parses it and validates ph/ts/pid/tid and
-# B/E balance) with the attribution buckets summing to the measured mean.
+# trace-event document (--check re-parses it and validates ph/ts/pid/tid,
+# B/E balance and per-track timestamp monotonicity) with the attribution
+# buckets summing to the measured mean.
 run run -q --release -p bench "${CARGO_FLAGS[@]}" --bin trace_explore -- \
   --nodes 16 --size 4096 --mode nic --shape adaptive --check
 echo "ci: trace schema OK (results/trace_nic_16n_4096B.json)"
+
+# Perf-regression gate: re-measure the scalability sweep's dispatch rate
+# and compare events_per_sec against the committed baseline; more than 25%
+# regression fails the build. Rates are per-second, so the short gate run
+# and the full baseline run compare fairly; the gate skips itself across
+# hosts with different core counts. MYRI_CI_NO_PERF=1 opts out (e.g. on
+# heavily loaded or throttled runners).
+if [[ "${MYRI_CI_NO_PERF:-}" == "1" ]]; then
+  echo "ci: perf gate skipped (MYRI_CI_NO_PERF=1)"
+else
+  perf_snapshot=$(mktemp)
+  sweep_snapshot=$(mktemp)
+  cp results/perf_baseline.json "$perf_snapshot"
+  cp results/ext_scalability.json "$sweep_snapshot"
+  run run -q --release -p bench "${CARGO_FLAGS[@]}" --bin ext_scalability -- \
+    --iters 10 --warmup 2 >/dev/null
+  run run -q --release -p bench "${CARGO_FLAGS[@]}" --bin perf_gate -- \
+    ext_scalability "$perf_snapshot" results/perf_baseline.json 0.25
+  # The gate run used reduced iterations; restore the committed artifacts.
+  mv "$perf_snapshot" results/perf_baseline.json
+  mv "$sweep_snapshot" results/ext_scalability.json
+fi
 
 echo "ci: all green"

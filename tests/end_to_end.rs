@@ -233,7 +233,7 @@ fn non_members_never_see_group_traffic() {
     let (cluster, shared) = myri_mcast::mcast::build_cluster(&run);
     let mut eng = cluster.into_engine();
     eng.run_to_idle();
-    assert_eq!(shared.borrow().iters_done, 5);
+    assert_eq!(shared.lock().unwrap().iters_done, 5);
     // Nodes outside the group processed zero multicast receptions.
     for i in [1u32, 2, 4, 5, 7] {
         let c = &eng.world().nic(NodeId(i)).counters;

@@ -1,8 +1,8 @@
 //! Ordering and concurrency guarantees of the NIC-based multicast, driven
 //! through the public API with hand-rolled host applications.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Mutex;
+use std::sync::Arc;
 
 use bytes::Bytes;
 use myri_mcast::gm::{Cluster, GmParams, HostApp, HostCtx, Notice};
@@ -12,7 +12,7 @@ use myri_mcast::sim::SimTime;
 
 const PORT: PortId = PortId(0);
 
-type DeliveryLog = Rc<RefCell<Vec<(u64, Bytes)>>>;
+type DeliveryLog = Arc<Mutex<Vec<(u64, Bytes)>>>;
 
 /// Root app: installs its group entry and fires `count` back-to-back
 /// multicasts without waiting for anything.
@@ -20,7 +20,7 @@ struct BurstRoot {
     gid: GroupId,
     tree: SpanningTree,
     count: u64,
-    done: Rc<RefCell<u64>>,
+    done: Arc<Mutex<u64>>,
 }
 
 impl HostApp<McastExt> for BurstRoot {
@@ -50,7 +50,7 @@ impl HostApp<McastExt> for BurstRoot {
                 }
             }
             Notice::Ext(McastNotice::SendDone { .. }) => {
-                *self.done.borrow_mut() += 1;
+                *self.done.lock().unwrap() += 1;
             }
             _ => {}
         }
@@ -80,7 +80,7 @@ impl HostApp<McastExt> for Logger {
     fn on_notice(&mut self, n: Notice<McastNotice>, ctx: &mut HostCtx<'_, McastExt>) {
         if let Notice::Recv { tag, data, .. } = n {
             ctx.provide_recv(PORT, 1);
-            self.log.borrow_mut().push((tag, data));
+            self.log.lock().unwrap().push((tag, data));
         }
     }
 }
@@ -90,13 +90,13 @@ fn burst_cluster(
     shape: TreeShape,
     count: u64,
     faults: FaultPlan,
-) -> (Cluster<McastExt>, Vec<DeliveryLog>, Rc<RefCell<u64>>) {
+) -> (Cluster<McastExt>, Vec<DeliveryLog>, Arc<Mutex<u64>>) {
     let topo = Topology::for_nodes(n);
     let fabric = Fabric::with_config(topo, NetParams::default(), faults, 77);
     let dests: Vec<NodeId> = (1..n).map(NodeId).collect();
     let tree = SpanningTree::build(NodeId(0), &dests, shape);
     let gid = GroupId(9);
-    let done = Rc::new(RefCell::new(0u64));
+    let done = Arc::new(Mutex::new(0u64));
     let mut cluster = Cluster::new(GmParams::default(), fabric, |_| McastExt::new());
     cluster.set_app(
         NodeId(0),
@@ -109,7 +109,7 @@ fn burst_cluster(
     );
     let mut logs = Vec::new();
     for &d in &dests {
-        let log: DeliveryLog = Rc::default();
+        let log: DeliveryLog = Arc::default();
         logs.push(log.clone());
         cluster.set_app(
             d,
@@ -126,7 +126,7 @@ fn burst_cluster(
 
 fn assert_burst_delivery(logs: &[DeliveryLog], count: u64) {
     for (i, log) in logs.iter().enumerate() {
-        let log = log.borrow();
+        let log = log.lock().unwrap();
         assert_eq!(
             log.len(),
             count as usize,
@@ -155,7 +155,7 @@ fn burst_of_mixed_size_multicasts_arrives_in_order_everywhere() {
         let mut eng = cluster.into_engine();
         eng.run_to_idle();
         assert_burst_delivery(&logs, 12);
-        assert_eq!(*done.borrow(), 12, "root must see every SendDone");
+        assert_eq!(*done.lock().unwrap(), 12, "root must see every SendDone");
     }
 }
 
@@ -165,7 +165,7 @@ fn burst_survives_random_loss_in_order() {
     let mut eng = cluster.into_engine();
     eng.run_to_idle();
     assert_burst_delivery(&logs, 10);
-    assert_eq!(*done.borrow(), 10);
+    assert_eq!(*done.lock().unwrap(), 10);
     // Loss must actually have occurred for this test to mean anything.
     let dropped: u64 = eng.world().fabric().counters().get("dropped_random");
     assert!(dropped > 0, "expected some loss at 3%");
@@ -245,7 +245,7 @@ fn two_concurrent_groups_with_interleaved_membership() {
                 }
                 Notice::Recv { tag, data, .. } => {
                     ctx.provide_recv(PORT, 1);
-                    self.log.borrow_mut().push((tag, data));
+                    self.log.lock().unwrap().push((tag, data));
                 }
                 _ => {}
             }
@@ -255,7 +255,7 @@ fn two_concurrent_groups_with_interleaved_membership() {
     let mut cluster = Cluster::new(GmParams::default(), fabric, |_| McastExt::new());
     let mut logs: Vec<DeliveryLog> = Vec::new();
     for i in 0..n {
-        let log: DeliveryLog = Rc::default();
+        let log: DeliveryLog = Arc::default();
         logs.push(log.clone());
         cluster.set_app(
             NodeId(i),
@@ -275,7 +275,7 @@ fn two_concurrent_groups_with_interleaved_membership() {
     eng.run_to_idle();
     assert!(eng.now() > SimTime::ZERO);
     for (i, log) in logs.iter().enumerate() {
-        let log = log.borrow();
+        let log = log.lock().unwrap();
         // Node 0 only receives group B (6 msgs); node 7 only group A; the
         // rest receive both (12).
         let expect = if i == 0 || i == 7 { 6 } else { 12 };
@@ -305,7 +305,7 @@ fn scarce_receive_credits_recover_via_retransmission() {
     let dests: Vec<NodeId> = (1..n).map(NodeId).collect();
     let tree = SpanningTree::build(NodeId(0), &dests, TreeShape::Flat);
     let gid = GroupId(4);
-    let done = Rc::new(RefCell::new(0u64));
+    let done = Arc::new(Mutex::new(0u64));
     let mut cluster = Cluster::new(GmParams::default(), fabric, |_| McastExt::new());
     cluster.set_app(
         NodeId(0),
@@ -333,7 +333,7 @@ fn scarce_receive_credits_recover_via_retransmission() {
         }
         fn on_notice(&mut self, n: Notice<McastNotice>, ctx: &mut HostCtx<'_, McastExt>) {
             if let Notice::Recv { tag, data, .. } = n {
-                self.inner.log.borrow_mut().push((tag, data));
+                self.inner.log.lock().unwrap().push((tag, data));
                 // Dawdle before reposting the credit so the next message
                 // finds the pool empty and must be recovered by timeout.
                 ctx.compute(myri_mcast::sim::SimDuration::from_micros(40), 1_000_000);
@@ -344,7 +344,7 @@ fn scarce_receive_credits_recover_via_retransmission() {
 
     let mut logs = Vec::new();
     for &d in &dests {
-        let log: DeliveryLog = Rc::default();
+        let log: DeliveryLog = Arc::default();
         logs.push(log.clone());
         cluster.set_app(
             d,
@@ -361,7 +361,7 @@ fn scarce_receive_credits_recover_via_retransmission() {
     let mut eng = cluster.into_engine();
     eng.run_to_idle();
     assert_burst_delivery(&logs, 12);
-    assert_eq!(*done.borrow(), 12);
+    assert_eq!(*done.lock().unwrap(), 12);
     let token_drops: u64 = (1..n)
         .map(|i| eng.world().nic(NodeId(i)).counters.get("rx_drop_no_token"))
         .sum();

@@ -2,8 +2,8 @@
 //! bound to port B must deliver only on port B, even when port A has
 //! credits too.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Mutex;
+use std::sync::Arc;
 
 use bytes::Bytes;
 use myri_mcast::gm::{Cluster, GmParams, HostApp, HostCtx, Notice};
@@ -12,7 +12,7 @@ use myri_mcast::net::{Fabric, GroupId, NodeId, PortId, Topology};
 const PA: PortId = PortId(0);
 const PB: PortId = PortId(1);
 
-type Log = Rc<RefCell<Vec<(PortId, u64)>>>;
+type Log = Arc<Mutex<Vec<(PortId, u64)>>>;
 
 #[test]
 fn multicast_groups_deliver_only_on_their_port() {
@@ -46,7 +46,7 @@ fn multicast_groups_deliver_only_on_their_port() {
                     });
                 }
                 Notice::Recv { port, tag, .. } => {
-                    self.log.borrow_mut().push((port, tag));
+                    self.log.lock().unwrap().push((port, tag));
                 }
                 _ => {}
             }
@@ -73,7 +73,7 @@ fn multicast_groups_deliver_only_on_their_port() {
     }
     c.into_engine().run_to_idle();
     for (i, log) in logs.iter().enumerate().skip(1) {
-        let got = log.borrow();
+        let got = log.lock().unwrap();
         assert_eq!(got.len(), 1, "node {i}");
         assert_eq!(got[0], (PB, 9), "delivery bound to the group's port");
     }

@@ -7,8 +7,8 @@
 //! and with the multicast extension installed (idle group present) and
 //! require the timelines to be bit-identical.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Mutex;
+use std::sync::Arc;
 
 use bytes::Bytes;
 use myri_mcast::gm::{Cluster, GmParams, HostApp, HostCtx, NicExtension, NoExt, Notice};
@@ -21,7 +21,7 @@ const P0: PortId = PortId(0);
 struct Pinger {
     size: usize,
     remaining: u32,
-    times: Rc<RefCell<Vec<SimTime>>>,
+    times: Arc<Mutex<Vec<SimTime>>>,
 }
 
 impl<X: NicExtension> HostApp<X> for Pinger {
@@ -31,7 +31,7 @@ impl<X: NicExtension> HostApp<X> for Pinger {
     }
     fn on_notice(&mut self, n: Notice<X::Notice>, ctx: &mut HostCtx<'_, X>) {
         if let Notice::Recv { .. } = n {
-            self.times.borrow_mut().push(ctx.now());
+            self.times.lock().unwrap().push(ctx.now());
             self.remaining -= 1;
             ctx.provide_recv(P0, 1);
             if self.remaining > 0 {
@@ -84,7 +84,7 @@ impl HostApp<McastExt> for PingerWithGroup {
 fn idle_multicast_firmware_leaves_unicast_timelines_bit_identical() {
     for size in [1usize, 512, 4096, 16384] {
         let baseline = {
-            let times = Rc::new(RefCell::new(Vec::new()));
+            let times = Arc::new(Mutex::new(Vec::new()));
             let mut c = Cluster::new(
                 GmParams::default(),
                 Fabric::new(Topology::for_nodes(2), 1),
@@ -100,11 +100,11 @@ fn idle_multicast_firmware_leaves_unicast_timelines_bit_identical() {
             );
             c.set_app(NodeId(1), Box::new(Echo { size }));
             c.into_engine().run_to_idle();
-            let t = times.borrow().clone();
+            let t = times.lock().unwrap().clone();
             t
         };
         let with_ext = {
-            let times = Rc::new(RefCell::new(Vec::new()));
+            let times = Arc::new(Mutex::new(Vec::new()));
             let mut c = Cluster::new(
                 GmParams::default(),
                 Fabric::new(Topology::for_nodes(2), 1),
@@ -120,7 +120,7 @@ fn idle_multicast_firmware_leaves_unicast_timelines_bit_identical() {
             );
             c.set_app(NodeId(1), Box::new(Echo { size }));
             c.into_engine().run_to_idle();
-            let t = times.borrow().clone();
+            let t = times.lock().unwrap().clone();
             t
         };
         assert_eq!(baseline.len(), 25);
