@@ -134,7 +134,7 @@ fn check_schema(doc: &str) -> Result<usize, String> {
             Some(Value::Str(s)) => s.as_str(),
             _ => return Err(format!("event {idx}: missing string `ph`")),
         };
-        if !matches!(ph, "B" | "E" | "X" | "i" | "M") {
+        if !matches!(ph, "B" | "E" | "X" | "i" | "M" | "s" | "t" | "f") {
             return Err(format!("event {idx}: unknown phase {ph:?}"));
         }
         let num = |name: &str| -> Result<u64, String> {
@@ -237,6 +237,24 @@ fn main() {
     );
     println!("  latency (mean):   {:>10.2} us", report.latency.mean());
 
+    // Sharded runs carry per-shard execution statistics under `parallel.*`.
+    if report.metrics.get("parallel.shards") > 0 {
+        let shards = report.metrics.get("parallel.shards");
+        println!(
+            "\nsharded execution: {} shards, {} windows, {} horizon tightenings, {} barrier waits",
+            shards,
+            report.metrics.get("parallel.windows"),
+            report.metrics.get("parallel.horizon_tightenings"),
+            report.metrics.get("parallel.barrier_waits"),
+        );
+        for i in 0..shards {
+            println!(
+                "  shard {i}: {} events",
+                report.metrics.get(&format!("parallel.shard{i}.events"))
+            );
+        }
+    }
+
     match &report.attribution {
         Some(attr) => {
             println!("\nlatency attribution (mean us per iteration):");
@@ -280,6 +298,13 @@ fn main() {
         if tracks.len() < 4 {
             eprintln!("error: expected at least 4 track types, saw {}", tracks.len());
             std::process::exit(1);
+        }
+        let dropped = report.metrics.get("probe.dropped_events");
+        if dropped > 0 {
+            eprintln!(
+                "warning: probe ring overflowed, {dropped} events dropped — \
+                 attribution and lineage may be incomplete (raise the ring capacity)"
+            );
         }
     }
 }

@@ -18,10 +18,10 @@
 //!   transformed into a send token, so no extra NIC resources are needed).
 
 use bytes::BytesMut;
-use gm_sim::SimTime;
+use gm_sim::{FlowId, SimTime};
 use myrinet::{GroupId, NodeId, Packet, PacketKind, MTU};
 
-use gm::{Cb, GmParams, NicCore, NicExtension};
+use gm::{flow_tag, Cb, GmParams, NicCore, NicExtension};
 
 use crate::group::{
     CollKind, FwdTokenPolicy, GroupState, InMsg, McastConfig, McastNotice, McastRec,
@@ -168,6 +168,27 @@ impl McastExt {
     /// Outstanding (unacked) packets for `group` (diagnostics).
     pub fn outstanding(&self, group: GroupId) -> usize {
         self.groups.get(&group).map_or(0, |g| g.records.len())
+    }
+
+    // -- flow attribution --------------------------------------------------------
+
+    /// `(origin, folded tag)` of the message `(group, seq)`: from the
+    /// forwarding record when one exists, else from the oldest
+    /// still-uploading in-progress message (leaf receives keep no record).
+    fn flow_parts(&self, group: GroupId, seq: u64) -> Option<(u32, u64)> {
+        let g = self.groups.get(&group)?;
+        let tag = g
+            .records
+            .iter()
+            .find(|r| r.seq == seq)
+            .map(|r| r.tag)
+            .or_else(|| {
+                g.in_msgs
+                    .iter()
+                    .find(|m| m.rdma_done < m.msg_len || m.msg_len == 0)
+                    .map(|m| m.tag)
+            })?;
+        Some((g.root.0, flow_tag(tag)))
     }
 
     // -- packet construction ---------------------------------------------------
@@ -1059,5 +1080,51 @@ impl NicExtension for McastExt {
         }
         self.pump_single(core);
         self.pump_sdma(core);
+    }
+
+    fn flow_of_request(&self, node: u32, req: &McastRequest) -> FlowId {
+        match req {
+            // The root's own work on a multicast (request processing, the
+            // one-time SDMA) belongs to its self-flow `(root, tag, root)`;
+            // per-destination flows link back to it causally.
+            McastRequest::Send { tag, .. } => FlowId::new(node, flow_tag(*tag), node),
+            _ => FlowId::NONE,
+        }
+    }
+
+    fn flow_of_tag(&self, node: u32, tag: &McastTag) -> FlowId {
+        match tag {
+            // Work on this node's own copy of the message.
+            McastTag::SdmaDone { group, seq } | McastTag::RdmaDone { group, seq, .. } => {
+                match self.flow_parts(*group, *seq) {
+                    Some((root, t)) => FlowId::new(root, t, node),
+                    None => FlowId::NONE,
+                }
+            }
+            // Replica chains: the hop belongs to the child being fed.
+            McastTag::Replica { group, seq, idx } | McastTag::FwdReplica { group, seq, idx } => {
+                let child = self
+                    .groups
+                    .get(group)
+                    .and_then(|g| g.children.get(*idx))
+                    .copied();
+                match (self.flow_parts(*group, *seq), child) {
+                    (Some((root, t)), Some(child)) => FlowId::new(root, t, child.0),
+                    _ => FlowId::NONE,
+                }
+            }
+            // Selective retransmissions target one child explicitly.
+            McastTag::RetxDma { group, seq, child }
+            | McastTag::SingleSent {
+                group, seq, child, ..
+            }
+            | McastTag::PerDestProc { group, seq, child } => {
+                match self.flow_parts(*group, *seq) {
+                    Some((root, t)) => FlowId::new(root, t, child.0),
+                    None => FlowId::NONE,
+                }
+            }
+            McastTag::GroupTimer { .. } | McastTag::BarrierTimer { .. } => FlowId::NONE,
+        }
     }
 }

@@ -48,6 +48,7 @@ mod workloads;
 pub use calibrate::{postal_for_size, shape_for_size};
 pub use ext::{McastExt, McastTag, BARRIER_TAG_BIT, OP_BARRIER_UP};
 pub use gm_sim::probe::ProbeConfig;
+pub use gm_sim::SeriesConfig;
 pub use group::{
     FwdTokenPolicy, McastConfig, McastNotice, McastRequest, MultisendImpl, ReduceOp,
     RetxBufferPolicy,
@@ -58,6 +59,6 @@ pub use tree::{coverage, min_makespan, PostalParams, SpanningTree, TreeShape};
 #[allow(deprecated)]
 pub use workloads::execute;
 pub use workloads::{
-    build_cluster, env_shards, execute_instrumented, execute_max_over_probes, AckMode,
-    InstrumentedOutput, McastMode, McastRun, RunOutput, Shared, DATA_PORT, REPLY_PORT,
+    build_cluster, env_shards, execute_instrumented, execute_max_over_probes, execute_observed,
+    AckMode, InstrumentedOutput, McastMode, McastRun, RunOutput, Shared, DATA_PORT, REPLY_PORT,
 };

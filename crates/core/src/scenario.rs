@@ -25,14 +25,14 @@
 
 use gm::GmParams;
 use gm_sim::probe::{attribution, attribution::Attribution, ProbeConfig};
-use gm_sim::SimTime;
+use gm_sim::{SeriesConfig, SimTime};
 use myrinet::{FaultPlan, NetParams, NodeId};
 
 use crate::calibrate::shape_for_size;
 use crate::group::McastConfig;
 use crate::tree::TreeShape;
 use crate::workloads::{
-    execute_instrumented, AckMode, InstrumentedOutput, McastMode, McastRun, RunOutput,
+    execute_observed, AckMode, InstrumentedOutput, McastMode, McastRun, RunOutput,
 };
 
 /// A validated-at-build measurement scenario.
@@ -46,6 +46,7 @@ use crate::workloads::{
 pub struct Scenario {
     run: McastRun,
     probes: ProbeConfig,
+    series: SeriesConfig,
     dests_overridden: bool,
 }
 
@@ -107,6 +108,7 @@ impl Scenario {
         Scenario {
             run,
             probes: ProbeConfig::off(),
+            series: SeriesConfig::off(),
             dests_overridden: false,
         }
     }
@@ -217,6 +219,13 @@ impl Scenario {
         self
     }
 
+    /// Gauge time-series configuration (default: [`SeriesConfig::off`],
+    /// which records nothing and allocates nothing).
+    pub fn series(mut self, config: SeriesConfig) -> Scenario {
+        self.series = config;
+        self
+    }
+
     /// Number of shards for parallel execution (default: the
     /// `MYRI_SIM_SHARDS` environment variable, else 1 = sequential).
     /// Sharding never changes results — the merged run is bit-for-bit
@@ -233,6 +242,7 @@ impl Scenario {
         let Scenario {
             mut run,
             probes,
+            series,
             dests_overridden,
         } = self;
         if run.n_nodes < 2 {
@@ -290,7 +300,7 @@ impl Scenario {
                 McastMode::HostBased => TreeShape::Binomial,
             };
         }
-        Ok(BuiltScenario { run, probes })
+        Ok(BuiltScenario { run, probes, series })
     }
 
     /// Build and execute, returning the [`Report`].
@@ -310,6 +320,7 @@ impl Scenario {
 pub struct BuiltScenario {
     run: McastRun,
     probes: ProbeConfig,
+    series: SeriesConfig,
 }
 
 impl BuiltScenario {
@@ -323,6 +334,11 @@ impl BuiltScenario {
         self.probes
     }
 
+    /// The gauge time-series configuration.
+    pub fn series_config(&self) -> SeriesConfig {
+        self.series
+    }
+
     /// Execute to completion.
     pub fn run(&self) -> Report {
         let InstrumentedOutput {
@@ -330,7 +346,8 @@ impl BuiltScenario {
             probe,
             metrics,
             windows,
-        } = execute_instrumented(&self.run, self.probes);
+            series,
+        } = execute_observed(&self.run, self.probes, self.series);
         let attribution = if self.probes.is_enabled() && !windows.is_empty() {
             let events = probe.to_vec();
             Some(attribution::attribute(&events, &windows))
@@ -343,6 +360,7 @@ impl BuiltScenario {
             probe,
             windows,
             attribution,
+            series,
         }
     }
 }
@@ -365,6 +383,8 @@ pub struct Report {
     /// Latency attribution over the timed windows (present when probes
     /// were enabled).
     pub attribution: Option<Attribution>,
+    /// The recorded gauge time-series (empty unless series were enabled).
+    pub series: gm_sim::SeriesSink,
 }
 
 impl std::ops::Deref for Report {
@@ -403,6 +423,9 @@ mod tests {
         assert!(report.probe.is_empty());
         assert_eq!(report.probe.allocated_capacity(), 0);
         assert!(report.attribution.is_none());
+        // The series sink is off by default and must be just as free.
+        assert!(report.series.is_empty());
+        assert_eq!(report.series.allocated_capacity(), 0);
     }
 
     #[test]

@@ -21,7 +21,9 @@ use std::sync::Arc;
 use bytes::Bytes;
 use gm::{Cluster, GmParams, HostApp, HostCtx, Notice};
 use gm_sim::probe::{Metrics, ProbeConfig, ProbeSink};
-use gm_sim::{Histogram, OnlineStats, SimDuration, SimTime};
+use gm_sim::{
+    Histogram, OnlineStats, SeriesConfig, SeriesSink, ShardStats, SimDuration, SimTime,
+};
 use myrinet::{Fabric, FaultPlan, GroupId, NetParams, NodeId, PortId, Topology};
 
 use crate::ext::McastExt;
@@ -375,10 +377,13 @@ pub struct InstrumentedOutput {
     /// The recorded probe events (empty when probes were off).
     pub probe: ProbeSink,
     /// Counter snapshot: `nic.*` (summed over nodes), `fabric.*`,
-    /// `engine.events`.
+    /// `engine.events`, `probe.*`/`series.*` (sink health) and — on sharded
+    /// runs — `parallel.*` execution statistics.
     pub metrics: Metrics,
     /// `(start, end)` of each timed iteration.
     pub windows: Vec<(SimTime, SimTime)>,
+    /// The recorded gauge time-series (empty when series were off).
+    pub series: SeriesSink,
 }
 
 /// Execute one run to completion and collect the measurements.
@@ -394,15 +399,27 @@ pub fn execute(run: &McastRun) -> RunOutput {
 /// execution path behind both [`Scenario`](crate::Scenario) and the
 /// deprecated [`execute`].
 pub fn execute_instrumented(run: &McastRun, probes: ProbeConfig) -> InstrumentedOutput {
+    execute_observed(run, probes, SeriesConfig::off())
+}
+
+/// Execute one run with full observability: span probes *and* gauge
+/// time-series. Sharded runs additionally record per-shard execution
+/// statistics under `parallel.*` metric keys.
+pub fn execute_observed(
+    run: &McastRun,
+    probes: ProbeConfig,
+    series: SeriesConfig,
+) -> InstrumentedOutput {
     let tree = SpanningTree::build(run.root, &run.dests, run.shape);
     let (mut cluster, shared) = build_cluster(run);
     cluster.set_probes(probes);
+    cluster.set_series(series);
 
     // Run sequentially or sharded — bit-for-bit the same results, so the
     // collection below works off a uniform `Vec<Cluster>` view. Infeasible
     // sharding requests (single shard, targeted drop rules, indivisible
     // topologies) fall back to the sequential engine.
-    let (mut worlds, now, events) =
+    let (mut worlds, now, events, shard_stats): (_, _, _, Vec<ShardStats>) =
         if run.shards > 1 && cluster.shard_infeasible(run.shards).is_none() {
             let mut eng = cluster.into_sharded_engine(run.shards);
             let outcome = eng.run(SimTime::MAX, 2_000_000_000);
@@ -412,7 +429,8 @@ pub fn execute_instrumented(run: &McastRun, probes: ProbeConfig) -> Instrumented
                 "sharded run did not converge (possible deadlock)"
             );
             let (now, events) = (eng.now(), eng.events_handled());
-            (eng.into_worlds(), now, events)
+            let shard_stats = eng.shard_stats();
+            (eng.into_worlds(), now, events, shard_stats)
         } else {
             let mut eng = cluster.into_engine();
             let outcome = eng.run(SimTime::MAX, 2_000_000_000);
@@ -422,7 +440,7 @@ pub fn execute_instrumented(run: &McastRun, probes: ProbeConfig) -> Instrumented
                 "run did not converge (possible deadlock)"
             );
             let (now, events) = (eng.now(), eng.events_handled());
-            (vec![eng.into_world()], now, events)
+            (vec![eng.into_world()], now, events, Vec::new())
         };
 
     let s = shared.lock().expect("shared app state mutex poisoned");
@@ -465,6 +483,30 @@ pub fn execute_instrumented(run: &McastRun, probes: ProbeConfig) -> Instrumented
         }
     }
     metrics.set("engine", "events", events);
+    // Per-shard execution statistics. These describe *how* the run was
+    // executed, not what it computed, so parity checks strip `parallel.*`
+    // before comparing sequential and sharded runs.
+    if !shard_stats.is_empty() {
+        metrics.set("parallel", "shards", shard_stats.len() as u64);
+        metrics.set(
+            "parallel",
+            "windows",
+            shard_stats.iter().map(|s| s.windows).max().unwrap_or(0),
+        );
+        metrics.set(
+            "parallel",
+            "horizon_tightenings",
+            shard_stats.iter().map(|s| s.horizon_tightenings).sum(),
+        );
+        metrics.set(
+            "parallel",
+            "barrier_waits",
+            shard_stats.iter().map(|s| s.barrier_waits).sum(),
+        );
+        for (i, s) in shard_stats.iter().enumerate() {
+            metrics.set("parallel", &format!("shard{i}.events"), s.events);
+        }
+    }
     let output = RunOutput {
         latency: s.latency.clone(),
         latency_p50: s.latency_hist.percentile(50.0),
@@ -487,11 +529,23 @@ pub fn execute_instrumented(run: &McastRun, probes: ProbeConfig) -> Instrumented
             .map(|w| std::mem::replace(&mut w.probe, ProbeSink::disabled()))
             .collect(),
     );
+    let series = SeriesSink::merge_canonical(
+        worlds
+            .iter_mut()
+            .map(|w| std::mem::replace(&mut w.series, SeriesSink::disabled()))
+            .collect(),
+    );
+    // Sink-health counters: non-zero drops mean the rings were too small to
+    // hold the run and downstream analyses (lineage, critical path, gauge
+    // summaries) may be incomplete.
+    metrics.set("probe", "dropped_events", probe.evicted());
+    metrics.set("series", "dropped_points", series.dropped());
     InstrumentedOutput {
         output,
         probe,
         metrics,
         windows,
+        series,
     }
 }
 

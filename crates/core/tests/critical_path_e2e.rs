@@ -1,0 +1,94 @@
+//! End-to-end acceptance tests for causal flow tracing: lineage
+//! reconstruction and critical-path extraction over real protocol runs
+//! (not synthetic streams — those live in `sim::critical_path`'s unit
+//! tests).
+
+use gm_sim::probe::{ProbeConfig, PKT_DROP};
+use gm_sim::{FlowGraph, FlowId};
+use myrinet::FaultPlan;
+use nic_mcast::{execute_instrumented, McastMode, McastRun, TreeShape};
+
+/// Collective-release flows (`BARRIER_TAG_BIT` folded onto tag bit 30 by
+/// `gm::flow_tag`) deliver through extension notices, not app receives, so
+/// they carry no `FLOW_DELIVERY` record.
+fn is_data_flow(f: FlowId) -> bool {
+    f.tag() & (1 << 30) == 0
+}
+
+/// The paper's headline configuration: 16 nodes, 4 KB, NIC-based multicast.
+/// Every measured window's critical path must decompose into buckets that
+/// sum *exactly* to the window length (the iteration's completion latency).
+#[test]
+fn nic_broadcast_16x4k_buckets_sum_to_completion_latency() {
+    let mut run = McastRun::new(16, 4096, McastMode::NicBased, TreeShape::KAry(2));
+    run.warmup = 1;
+    run.iters = 4;
+    let out = execute_instrumented(&run, ProbeConfig::spans());
+    assert_eq!(out.windows.len(), 4);
+    let events = out.probe.to_vec();
+    let graph = FlowGraph::build(&events);
+    assert_eq!(graph.validate(), Vec::<String>::new());
+    for (i, &(ws, we)) in out.windows.iter().enumerate() {
+        let cp = graph
+            .critical_path(&events, (ws, we))
+            .unwrap_or_else(|| panic!("window {i} has no delivery"));
+        assert_eq!(cp.total, we.saturating_since(ws), "window {i} total");
+        assert_eq!(cp.bucket_sum(), cp.total, "window {i} buckets must sum");
+        assert!(
+            cp.steps.len() >= 2,
+            "window {i}: a 16-node collective path has multiple hops, got {:?}",
+            cp.steps
+        );
+        // The path must explain the window with real protocol work, not
+        // just wait time.
+        let wait = cp
+            .buckets
+            .iter()
+            .find(|(k, _)| k == "wait")
+            .map(|&(_, d)| d)
+            .unwrap_or_default();
+        assert!(wait < cp.total, "window {i} is pure wait: {:?}", cp.buckets);
+    }
+}
+
+/// Under loss, Go-Back-N retransmits dropped multicast packets from the
+/// NIC; the retransmitted hop keeps its `FlowId`, so the flow still
+/// reaches delivery and its lineage is complete — the drop shows up as
+/// extra records on the same hop, not as a broken chain.
+#[test]
+fn lossy_go_back_n_keeps_retransmitted_hops_in_lineage() {
+    let mut run = McastRun::new(8, 2048, McastMode::NicBased, TreeShape::KAry(2));
+    run.warmup = 1;
+    run.iters = 6;
+    run.faults = FaultPlan::with_loss(0.08);
+    let out = execute_instrumented(&run, ProbeConfig::spans());
+    assert!(
+        out.output.retransmissions > 0,
+        "loss plan must actually trigger Go-Back-N"
+    );
+    let events = out.probe.to_vec();
+    let graph = FlowGraph::build(&events);
+    assert_eq!(graph.validate(), Vec::<String>::new());
+
+    // Every dropped *data* packet's flow must still be delivered, with the
+    // retransmitted hop present in its own complete lineage.
+    let dropped: Vec<FlowId> = events
+        .iter()
+        .filter(|e| e.id.name == PKT_DROP.name && e.flow.is_some() && is_data_flow(e.flow))
+        .map(|e| e.flow)
+        .collect();
+    assert!(!dropped.is_empty(), "no data packets were dropped");
+    let delivered = graph.delivered();
+    for f in dropped {
+        assert!(
+            delivered.contains(&f),
+            "dropped flow {f} never reached delivery"
+        );
+        let chain = graph.lineage(f);
+        assert_eq!(*chain.last().expect("lineage nonempty"), f);
+        assert!(
+            chain.len() >= 2 || f.origin() == f.dest(),
+            "delivered hop {f} should chain back to its sender, got {chain:?}"
+        );
+    }
+}

@@ -11,8 +11,9 @@
 //! the flag).
 
 use gm_sim::probe::ProbeConfig;
+use gm_sim::{FlowGraph, SeriesConfig, SimTime};
 use myrinet::{DropRule, FaultPlan, NodeId};
-use nic_mcast::{execute_instrumented, InstrumentedOutput, McastMode, McastRun, TreeShape};
+use nic_mcast::{execute_observed, InstrumentedOutput, McastMode, McastRun, TreeShape};
 use proptest::prelude::*;
 
 /// Latch the threaded window loop on (checked once per process, so set it
@@ -24,7 +25,19 @@ fn force_threads() {
 fn run_with_shards(run: &McastRun, shards: u32, probes: ProbeConfig) -> InstrumentedOutput {
     let mut r = run.clone();
     r.shards = shards;
-    execute_instrumented(&r, probes)
+    execute_observed(&r, probes, SeriesConfig::on())
+}
+
+/// The mode-independent slice of the gauge series: everything except
+/// `exec_*` gauges, which describe the execution itself (per-shard queue
+/// depths) and legitimately differ. `seq` is excluded too — renumbering
+/// interleaves differently once exec points are removed.
+fn sim_series(o: &InstrumentedOutput) -> Vec<(SimTime, u32, &'static str, u64)> {
+    o.series
+        .iter()
+        .filter(|p| !p.gauge.starts_with("exec_"))
+        .map(|p| (p.time, p.node, p.gauge, p.value))
+        .collect()
 }
 
 /// Every observable of the two runs must match exactly (floats compared
@@ -50,12 +63,38 @@ fn assert_bit_identical(run: &McastRun, shards: u32) {
         b.output.root_link_utilization.to_bits(),
         "root link utilization"
     );
-    assert_eq!(a.metrics, b.metrics, "counter snapshot");
+    // `parallel.*` is execution diagnostics, present only on sharded runs.
+    assert_eq!(
+        a.metrics.without_layer("parallel"),
+        b.metrics.without_layer("parallel"),
+        "counter snapshot"
+    );
     assert_eq!(a.windows, b.windows, "iteration windows");
     let (pa, pb) = (a.probe.to_vec(), b.probe.to_vec());
     assert_eq!(pa.len(), pb.len(), "probe stream length");
     for (i, (x, y)) in pa.iter().zip(pb.iter()).enumerate() {
         assert_eq!(x, y, "probe streams diverge at event {i}");
+    }
+    assert_eq!(sim_series(&a), sim_series(&b), "gauge time-series");
+
+    // Lineage parity: the causal structure reconstructed from both streams
+    // must agree flow-for-flow, and the critical path of every measured
+    // window must be identical (same hops, same buckets, same signature).
+    let (ga, gb) = (FlowGraph::build(&pa), FlowGraph::build(&pb));
+    assert_eq!(ga.validate(), Vec::<String>::new(), "sequential flow graph");
+    assert_eq!(gb.validate(), Vec::<String>::new(), "sharded flow graph");
+    assert_eq!(
+        ga.delivered(),
+        gb.delivered(),
+        "delivered flow sets diverge"
+    );
+    for f in ga.delivered() {
+        assert_eq!(ga.lineage(f), gb.lineage(f), "lineage of {f}");
+    }
+    for (i, w) in a.windows.iter().enumerate() {
+        let ca = ga.critical_path(&pa, *w);
+        let cb = gb.critical_path(&pb, *w);
+        assert_eq!(ca, cb, "critical path of window {i}");
     }
 }
 

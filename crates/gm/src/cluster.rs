@@ -11,12 +11,15 @@ use std::sync::Arc;
 
 use gm_sim::parallel::OutMsg;
 use gm_sim::probe::{ProbeConfig, ProbeSink};
-use gm_sim::{Engine, Outbox, Scheduler, ShardWorld, ShardedEngine, SimDuration, SimTime, World};
+use gm_sim::{
+    Engine, FlowId, Outbox, Scheduler, SeriesConfig, SeriesSink, ShardWorld, ShardedEngine,
+    SimDuration, SimTime, World, FLOW_DELIVERY,
+};
 use myrinet::{Fabric, NodeId, Packet, RxOutcome, WireHandoff};
 
 use crate::ext::NicExtension;
 use crate::host::{Host, HostApp, HostCall, HostCtx};
-use crate::nic::{Cb, NicCore, Notice, PciJob, TimerTag, TxJob, Work};
+use crate::nic::{flow_of_packet, Cb, NicCore, Notice, PciJob, TimerTag, TxJob, Work};
 use crate::params::GmParams;
 
 /// The probe points the cluster records (see `gm_sim::probe`). Every
@@ -160,6 +163,11 @@ pub struct Cluster<X: NicExtension> {
     start_times: Vec<SimTime>,
     /// Observability sink (disabled by default; see [`set_probes`](Self::set_probes)).
     pub probe: ProbeSink,
+    /// Time-series gauge sink (disabled by default; see
+    /// [`set_series`](Self::set_series)).
+    pub series: SeriesSink,
+    /// Events handled (drives subsampling of execution gauges).
+    events_handled: u64,
     /// Owning shard of every node (all zero in an unsplit cluster).
     shard_of: Arc<Vec<u32>>,
     /// This cluster's shard index (0 in an unsplit cluster).
@@ -197,6 +205,8 @@ impl<X: NicExtension> Cluster<X> {
             slots,
             start_times: vec![SimTime::ZERO; n as usize],
             probe: ProbeSink::disabled(),
+            series: SeriesSink::disabled(),
+            events_handled: 0,
             shard_of: Arc::new(vec![0; n as usize]),
             my_shard: 0,
             node_base: 0,
@@ -209,6 +219,13 @@ impl<X: NicExtension> Cluster<X> {
     /// (the default) no events are recorded and nothing is allocated.
     pub fn set_probes(&mut self, config: ProbeConfig) {
         self.probe = ProbeSink::new(config);
+    }
+
+    /// Install a time-series telemetry configuration. With
+    /// [`SeriesConfig::off`] (the default) no gauges are sampled and
+    /// nothing is allocated.
+    pub fn set_series(&mut self, config: SeriesConfig) {
+        self.series = SeriesSink::new(config);
     }
 
     /// Number of nodes in the whole cluster (not just this shard's slice).
@@ -330,6 +347,7 @@ impl<X: NicExtension> Cluster<X> {
             .expect("feasible partitions have cross-shard pairs");
         let actual = shard_of.iter().max().copied().unwrap_or(0) + 1;
         let config = self.probe.config();
+        let series_config = self.series.config();
         let mut shards = Vec::with_capacity(actual as usize);
         let mut slots = self.slots.into_iter();
         let mut node_base = 0u32;
@@ -341,6 +359,8 @@ impl<X: NicExtension> Cluster<X> {
                 slots: slots.by_ref().take(count).collect(),
                 start_times: self.start_times.clone(),
                 probe: ProbeSink::new(config),
+                series: SeriesSink::new(series_config),
+                events_handled: 0,
                 shard_of: Arc::clone(&shard_of),
                 my_shard: s,
                 node_base,
@@ -440,29 +460,33 @@ impl<X: NicExtension> Cluster<X> {
             debug_assert!(accepted, "token accounting out of sync");
         }
         if let Some((cost, work)) = slot.nic.lanai_start() {
+            let flow = slot.nic.flow_of_work(&work, &slot.ext);
             self.probe
-                .begin(now, node.0, probes::LANAI, work_name(&work), 0, 0);
+                .begin_flow(now, node.0, probes::LANAI, work_name(&work), 0, 0, flow);
             sched.after(cost, Ev::LanaiDone(node, work));
         }
         if let Some((dur, job)) = slot.nic.pci_start() {
+            let flow = slot.nic.flow_of_pci(&job, &slot.ext);
             self.probe
-                .begin(now, node.0, probes::PCI_DMA, "dma", dur.as_nanos(), 0);
+                .begin_flow(now, node.0, probes::PCI_DMA, "dma", dur.as_nanos(), 0, flow);
             sched.after(dur, Ev::PciDone(node, job));
         }
         if let Some(TxJob { pkt, cb }) = slot.nic.tx_start() {
-            self.probe.begin(
+            self.probe.begin_flow(
                 now,
                 node.0,
                 probes::WIRE_TX,
                 "tx",
                 u64::from(pkt.dst.0),
                 pkt.wire_bytes(),
+                flow_of_packet(&pkt),
             );
+            let flow = flow_of_packet(&pkt);
             let tx = self.fabric.tx_stage(now, pkt);
             let stall = self.fabric.last_inject_stall();
             if stall > SimDuration::ZERO {
                 self.probe
-                    .complete(now, node.0, probes::LINK_STALL, stall, "");
+                    .complete_flow(now, node.0, probes::LINK_STALL, stall, "", flow);
             }
             sched.at(tx.src_free, Ev::TxDrained(node, cb));
             let h = tx.handoff;
@@ -500,6 +524,32 @@ impl<X: NicExtension> Cluster<X> {
         if self.slots[self.local(node)].nic.wants_pump() {
             self.pump_nic(node, sched);
         }
+        self.sample_nic_gauges(node, now);
+    }
+
+    /// Sample this node's resource gauges into the series sink. Gauges are
+    /// step functions of NIC state only, so the stream is identical whether
+    /// the node runs on one shard or many; consecutive equal samples
+    /// deduplicate inside the sink.
+    fn sample_nic_gauges(&mut self, node: NodeId, now: SimTime) {
+        if !self.series.is_enabled() {
+            return;
+        }
+        let li = self.local(node);
+        let nic = &self.slots[li].nic;
+        let n = node.0;
+        self.series
+            .record(now, n, "send_tokens_used", nic.send_tokens_used() as u64);
+        self.series
+            .record(now, n, "recv_tokens_avail", nic.recv_tokens_avail() as u64);
+        self.series
+            .record(now, n, "sram_used", nic.sram_buffers_used() as u64);
+        self.series
+            .record(now, n, "lanai_queue", nic.lanai_queue_len() as u64);
+        self.series
+            .record(now, n, "pci_queue", nic.pci_queue_len() as u64);
+        self.series
+            .record(now, n, "tx_queue", nic.tx_queue_len() as u64);
     }
 
     /// Run the receive stage of one boundary hand-off: reserve the
@@ -509,23 +559,27 @@ impl<X: NicExtension> Cluster<X> {
         let now = sched.now();
         debug_assert_eq!(now, h.head_at, "receive stage off its boundary instant");
         let dst = h.pkt.dst;
+        let flow = flow_of_packet(&h.pkt);
         match self.fabric.rx_stage(&h) {
             RxOutcome::Delivered { at } => {
                 let stall = self.fabric.last_inject_stall();
                 if stall > SimDuration::ZERO {
-                    self.probe.complete(now, dst.0, probes::LINK_STALL, stall, "");
+                    self.probe
+                        .complete_flow(now, dst.0, probes::LINK_STALL, stall, "", flow);
                 }
-                self.probe.complete(
+                self.probe.complete_flow(
                     now,
                     dst.0,
                     probes::WIRE_FLIGHT,
                     at.saturating_since(now),
                     "flight",
+                    flow,
                 );
                 sched.at(at, Ev::PacketArrive(dst, h.pkt));
             }
             RxOutcome::Dropped { .. } => {
-                self.probe.instant(now, dst.0, probes::PKT_DROP, "", 0);
+                self.probe
+                    .instant_flow(now, dst.0, probes::PKT_DROP, "", 0, flow);
             }
         }
     }
@@ -560,8 +614,19 @@ impl<X: NicExtension> Cluster<X> {
             Notice::Ext(_) => (self.params.host_send_complete, "ext"),
         };
         let now = sched.now();
-        self.probe.instant(now, node.0, probes::NOTICE, name, 0);
         let li = self.local(node);
+        let flow = {
+            let slot = &self.slots[li];
+            slot.nic.flow_of_notice(&notice, &slot.ext)
+        };
+        self.probe
+            .instant_flow(now, node.0, probes::NOTICE, name, 0, flow);
+        if flow.is_some() {
+            // The lineage terminal: this message reached its destination
+            // application (see `gm_sim::critical_path`).
+            self.probe
+                .instant_flow(now, node.0, FLOW_DELIVERY, name, 0, flow);
+        }
         let slot = &mut self.slots[li];
         let busy_from = slot.host.free_at().max(now);
         slot.host.charge(now, cost);
@@ -598,6 +663,18 @@ impl<X: NicExtension> World for Cluster<X> {
     type Event = Ev<X>;
 
     fn handle(&mut self, event: Ev<X>, sched: &mut Scheduler<Ev<X>>) {
+        self.events_handled += 1;
+        if self.series.is_enabled() && self.events_handled.is_multiple_of(64) {
+            // Execution diagnostic (hence the `exec_` prefix): the event
+            // queue is per-engine, so sequential and sharded runs sample
+            // different depths. Parity checks ignore `exec_*` gauges.
+            self.series.record(
+                sched.now(),
+                self.my_shard,
+                "exec_queue_depth",
+                sched.pending() as u64,
+            );
+        }
         match event {
             Ev::AppStart(n) => {
                 self.with_app(n, sched, |app, ctx| app.on_start(ctx));
@@ -609,7 +686,9 @@ impl<X: NicExtension> World for Cluster<X> {
                 slot.nic.set_now(now);
                 match call {
                     HostCall::Send(args) => {
-                        self.probe.instant(now, n.0, probes::HOST_CALL, "send", 0);
+                        let flow = FlowId::new(n.0, crate::nic::flow_tag(args.tag), args.dst.0);
+                        self.probe
+                            .instant_flow(now, n.0, probes::HOST_CALL, "send", 0, flow);
                         if slot.nic.send_tokens_free() == 0 || !slot.parked_sends.is_empty() {
                             // Out of tokens (or behind earlier parked
                             // sends): queue client-side, replay in order
@@ -624,7 +703,9 @@ impl<X: NicExtension> World for Cluster<X> {
                         slot.nic.host_provide_recv(port, count);
                     }
                     HostCall::Ext(req) => {
-                        self.probe.instant(now, n.0, probes::HOST_CALL, "ext", 0);
+                        let flow = slot.ext.flow_of_request(n.0, &req);
+                        self.probe
+                            .instant_flow(now, n.0, probes::HOST_CALL, "ext", 0, flow);
                         let cost = slot.ext.request_cost(&req, &self.params);
                         slot.nic.host_ext_request(cost, req);
                     }
@@ -667,12 +748,13 @@ impl<X: NicExtension> World for Cluster<X> {
                 self.pump_nic(n, sched);
             }
             Ev::PacketArrive(n, pkt) => {
-                self.probe.instant(
+                self.probe.instant_flow(
                     sched.now(),
                     n.0,
                     probes::RX_ARRIVE,
                     "",
                     u64::from(pkt.src.0),
+                    flow_of_packet(&pkt),
                 );
                 let li = self.local(n);
                 let slot = &mut self.slots[li];

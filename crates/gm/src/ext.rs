@@ -22,7 +22,7 @@
 
 use std::fmt::Debug;
 
-use gm_sim::SimDuration;
+use gm_sim::{FlowId, SimDuration};
 use myrinet::Packet;
 
 use crate::nic::NicCore;
@@ -75,6 +75,31 @@ pub trait NicExtension: Sized + Send {
     /// (see [`NicCore::signal_resource_wait`]). Default: nothing.
     fn resources_available(&mut self, core: &mut NicCore<Self>) {
         let _ = core;
+    }
+
+    /// The causal flow a host request belongs to (`node` is the NIC's node).
+    /// Extensions with message-scoped requests override this so the LANai
+    /// span of request processing joins the message's lineage. Default:
+    /// [`FlowId::NONE`].
+    fn flow_of_request(&self, node: u32, req: &Self::Request) -> FlowId {
+        let _ = (node, req);
+        FlowId::NONE
+    }
+
+    /// The causal flow an extension tag (work item, DMA job, tx callback)
+    /// belongs to. Default: [`FlowId::NONE`].
+    fn flow_of_tag(&self, node: u32, tag: &Self::Tag) -> FlowId {
+        let _ = (node, tag);
+        FlowId::NONE
+    }
+
+    /// The causal flow an extension notice delivers (`node` is the
+    /// receiving node). A delivery notice returning a real flow is what
+    /// anchors the flow's lineage end (see `sim::critical_path`). Default:
+    /// [`FlowId::NONE`].
+    fn flow_of_notice(&self, node: u32, notice: &Self::Notice) -> FlowId {
+        let _ = (node, notice);
+        FlowId::NONE
     }
 }
 

@@ -10,7 +10,7 @@ use std::collections::VecDeque;
 
 use bytes::Bytes;
 use gm_sim::probe::{ProbeId, ProbeSink};
-use gm_sim::{SimDuration, SimTime};
+use gm_sim::{FlowId, SimDuration, SimTime};
 use myrinet::{NodeId, PortId};
 
 use crate::ext::NicExtension;
@@ -122,6 +122,13 @@ impl<'a, X: NicExtension> HostCtx<'a, X> {
     pub fn mark(&mut self, id: ProbeId, label: &'static str, a: u64) {
         let node = self.host.node().0;
         self.probe.instant(self.now, node, id, label, a);
+    }
+
+    /// Like [`HostCtx::mark`], but tagging the record with the causal flow
+    /// of the message the milestone concerns (see `sim::flow`).
+    pub fn mark_flow(&mut self, id: ProbeId, label: &'static str, a: u64, flow: FlowId) {
+        let node = self.host.node().0;
+        self.probe.instant_flow(self.now, node, id, label, a, flow);
     }
 
     /// The event time this callback was invoked at.

@@ -63,5 +63,8 @@ mod params;
 pub use cluster::{probes, Cluster, Ev};
 pub use ext::{Never, NicExtension, NoExt};
 pub use host::{Host, HostApp, HostCall, HostCtx, IdleApp};
-pub use nic::{Cb, ConnKey, NicCore, Notice, PciJob, SendArgs, TimerTag, TxJob, Work};
+pub use nic::{
+    flow_of_packet, flow_tag, Cb, ConnKey, NicCore, Notice, PciJob, SendArgs, TimerTag, TxJob,
+    Work,
+};
 pub use params::{GmParams, EAGER_LIMIT};

@@ -15,7 +15,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use bytes::{Bytes, BytesMut};
-use gm_sim::{Counters, SimDuration, SimTime};
+use gm_sim::{Counters, FlowId, SimDuration, SimTime};
 use myrinet::{NodeId, Packet, PacketKind, PortId, MTU};
 
 use crate::ext::NicExtension;
@@ -182,6 +182,33 @@ pub struct TxJob<T> {
     pub pkt: Packet,
     /// Descriptor callback to run when serialization completes.
     pub cb: Cb<T>,
+}
+
+/// Fold a 64-bit GM message tag onto the 31-bit [`FlowId`] tag space.
+///
+/// The top bit of a message tag marks NIC-level collective releases (see
+/// `BARRIER_TAG_BIT` in the multicast firmware); a plain truncation would
+/// alias round `r` with data tag `r`. Mapping bit 63 onto bit 30 keeps
+/// control rounds and data iterations distinct flows. Every flow-from-tag
+/// derivation must go through this one function so all layers agree.
+pub fn flow_tag(tag: u64) -> u64 {
+    (tag & ((1 << 30) - 1)) | ((tag >> 63) << 30)
+}
+
+/// The causal flow a wire packet belongs to (see `gm_sim::flow`).
+///
+/// Data packets carry `(src, tag, dst)`; multicast packets carry the root as
+/// origin so every hop of a forwarded message shares one flow per
+/// destination. Acks and control packets are not part of any delivery
+/// lineage.
+pub fn flow_of_packet(pkt: &Packet) -> FlowId {
+    match &pkt.kind {
+        PacketKind::Data { tag, .. } => FlowId::new(pkt.src.0, flow_tag(*tag), pkt.dst.0),
+        PacketKind::Mcast { tag, root, .. } => FlowId::new(root.0, flow_tag(*tag), pkt.dst.0),
+        PacketKind::Ack { .. } | PacketKind::McastAck { .. } | PacketKind::Ctl { .. } => {
+            FlowId::NONE
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -720,6 +747,103 @@ impl<X: NicExtension> NicCore<X> {
     /// Free receive SRAM buffers currently available.
     pub fn recv_buffers_free(&self) -> usize {
         self.recv_bufs_free
+    }
+
+    // -- Flow attribution ----------------------------------------------------
+
+    /// The causal flow a queued LANai work item belongs to. Extension work
+    /// resolves through [`NicExtension::flow_of_tag`]/[`flow_of_request`];
+    /// acks resolve to [`FlowId::NONE`] (they end a window, not a delivery).
+    ///
+    /// [`flow_of_request`]: NicExtension::flow_of_request
+    pub fn flow_of_work(&self, work: &Work<X>, ext: &X) -> FlowId {
+        match work {
+            Work::SendToken { token } => match self.tokens.get(token) {
+                Some(t) => FlowId::new(self.node.0, flow_tag(t.tag), t.dst.0),
+                None => FlowId::NONE,
+            },
+            Work::RxData(pkt) | Work::RxExt(pkt) => flow_of_packet(pkt),
+            Work::RxAck(_) => FlowId::NONE,
+            Work::HostReq(req) => ext.flow_of_request(self.node.0, req),
+            Work::Callback(tag) | Work::ExtWork(tag) => ext.flow_of_tag(self.node.0, tag),
+        }
+    }
+
+    /// The causal flow a PCI DMA job moves bytes for: SDMA/retransmit jobs
+    /// resolve through the send record's token, RDMA jobs through the
+    /// receive connection's in-progress message.
+    pub fn flow_of_pci(&self, job: &PciJob<X>, ext: &X) -> FlowId {
+        match job {
+            PciJob::Sdma { conn, seq } | PciJob::Retx { conn, seq } => {
+                let tag = self
+                    .send_conns
+                    .get(conn)
+                    .and_then(|c| c.records.iter().find(|r| r.seq == *seq))
+                    .and_then(|r| self.tokens.get(&r.token))
+                    .map(|t| t.tag);
+                match tag {
+                    Some(tag) => FlowId::new(self.node.0, flow_tag(tag), conn.peer.0),
+                    None => FlowId::NONE,
+                }
+            }
+            PciJob::Rdma { conn, msg_uid, .. } => {
+                let tag = self
+                    .recv_conns
+                    .get(conn)
+                    .and_then(|c| c.msgs.iter().find(|m| m.uid == *msg_uid))
+                    .map(|m| m.tag);
+                match tag {
+                    Some(tag) => FlowId::new(conn.peer.0, flow_tag(tag), self.node.0),
+                    None => FlowId::NONE,
+                }
+            }
+            PciJob::Ext(tag) => ext.flow_of_tag(self.node.0, tag),
+        }
+    }
+
+    /// The causal flow a base receive notice delivers ([`FlowId::NONE`] for
+    /// send completions and compute ticks; extension notices resolve through
+    /// [`NicExtension::flow_of_notice`]).
+    pub fn flow_of_notice(&self, notice: &Notice<X::Notice>, ext: &X) -> FlowId {
+        match notice {
+            Notice::Recv { src, tag, .. } => FlowId::new(src.0, flow_tag(*tag), self.node.0),
+            Notice::Ext(n) => ext.flow_of_notice(self.node.0, n),
+            Notice::SendComplete { .. } | Notice::ComputeDone { .. } => FlowId::NONE,
+        }
+    }
+
+    // -- Telemetry gauges ----------------------------------------------------
+
+    /// Queued LANai work items (telemetry gauge).
+    pub fn lanai_queue_len(&self) -> usize {
+        self.work.len()
+    }
+
+    /// Queued PCI DMA jobs (telemetry gauge).
+    pub fn pci_queue_len(&self) -> usize {
+        self.pci.len()
+    }
+
+    /// Packets queued for the transmit DMA engine (telemetry gauge).
+    pub fn tx_queue_len(&self) -> usize {
+        self.tx.len()
+    }
+
+    /// Send tokens currently in use (telemetry gauge).
+    pub fn send_tokens_used(&self) -> usize {
+        self.params.send_tokens - self.send_tokens_free
+    }
+
+    /// SRAM packet buffers currently in use, send + receive (telemetry
+    /// gauge: the paper's firmware competes for this pool).
+    pub fn sram_buffers_used(&self) -> usize {
+        (self.params.send_buffers - self.send_bufs_free)
+            + (self.params.recv_buffers - self.recv_bufs_free)
+    }
+
+    /// Receive tokens available across all ports (telemetry gauge).
+    pub fn recv_tokens_avail(&self) -> usize {
+        self.recv_tokens.values().sum()
     }
 
     // -- Base protocol internals ----------------------------------------------

@@ -20,8 +20,8 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use bytes::Bytes;
-use gm::{HostApp, HostCtx, Notice};
-use gm_sim::{DetRng, SimDuration, SimTime};
+use gm::{flow_tag, HostApp, HostCtx, Notice};
+use gm_sim::{DetRng, FlowId, SimDuration, SimTime};
 use myrinet::{GroupId, NodeId};
 use nic_mcast::{McastExt, McastNotice, McastRequest, SpanningTree, TreeShape};
 
@@ -34,6 +34,12 @@ pub mod probes {
 
     /// A rank entered an MPI operation (label = op kind, payload = iteration).
     pub const MPI_OP: ProbeId = ProbeId::new("mpi_op", Track::App);
+
+    /// NIC-based broadcast endpoints, annotated with the message's
+    /// [`FlowId`](gm_sim::FlowId) so MPI-level send/deliver marks join the
+    /// causal lineage of the underlying multicast (label = "send" or
+    /// "deliver", payload = broadcast sequence).
+    pub const MPI_BCAST_FLOW: ProbeId = ProbeId::new("mpi_bcast", Track::App);
 }
 
 /// One MPI operation in a rank program.
@@ -569,14 +575,21 @@ impl RankApp {
     }
 
     fn mcast_send(&mut self, ctx: &mut HostCtx<'_, McastExt>, root: u32, size: usize, seq: u64) {
+        let t = tag(Ctx::Bcast, seq);
+        // Same self-flow the NIC assigns the request (origin == dest == root),
+        // so this mark is the lineage's host-level starting point.
+        ctx.mark_flow(
+            probes::MPI_BCAST_FLOW,
+            "send",
+            seq,
+            FlowId::new(self.me, flow_tag(t), self.me),
+        );
         ctx.ext(McastRequest::Send {
             group: self.gid(root),
             data: Bytes::from(vec![0u8; size]),
-            tag: tag(Ctx::Bcast, seq),
+            tag: t,
         });
-        self.wait = Wait::McastSendDone {
-            tag: tag(Ctx::Bcast, seq),
-        };
+        self.wait = Wait::McastSendDone { tag: t };
     }
 
     /// Demand-driven group creation: build the tree at the host, push each

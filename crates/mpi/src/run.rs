@@ -2,6 +2,7 @@
 //! completion, and returns the collective measurements.
 
 use gm::{Cluster, GmParams, EAGER_LIMIT};
+use gm_sim::probe::{ProbeConfig, ProbeSink};
 use gm_sim::{Metrics, OnlineStats, SimDuration, SimTime};
 use myrinet::{Fabric, FaultPlan, NetParams, NodeId, Topology};
 use nic_mcast::{shape_for_size, McastConfig, McastExt, TreeShape};
@@ -128,6 +129,14 @@ pub struct MpiOutput {
 
 /// Execute `run` to completion.
 pub fn execute_mpi(run: &MpiRun) -> MpiOutput {
+    execute_mpi_observed(run, ProbeConfig::off()).0
+}
+
+/// Execute `run` with probes on, returning the canonical probe stream next
+/// to the aggregates — the input to lineage reconstruction and
+/// critical-path extraction over an MPI program (e.g. the fig6-style skew
+/// experiments).
+pub fn execute_mpi_observed(run: &MpiRun, probes: ProbeConfig) -> (MpiOutput, ProbeSink) {
     assert!(run.n_ranks >= 2, "need at least two ranks");
     let bcast_size = run
         .ops
@@ -199,6 +208,7 @@ pub fn execute_mpi(run: &MpiRun) -> MpiOutput {
     let fabric = Fabric::with_config(topo, run.net, run.faults.clone(), run.seed);
     let mcfg = run.mcast_config;
     let mut cluster = Cluster::new(run.params.clone(), fabric, |_| McastExt::with_config(mcfg));
+    cluster.set_probes(probes);
     for &r in &comm {
         cluster.set_app(
             NodeId(r),
@@ -243,14 +253,22 @@ pub fn execute_mpi(run: &MpiRun) -> MpiOutput {
         metrics.add("fabric", name, v);
     }
     metrics.set("engine", "events", eng.events_handled());
-    MpiOutput {
+    let (end_time, events) = (eng.now(), eng.events_handled());
+    let mut world = eng.into_world();
+    let probe = ProbeSink::merge_canonical(vec![std::mem::replace(
+        &mut world.probe,
+        ProbeSink::disabled(),
+    )]);
+    metrics.set("probe", "dropped_events", probe.evicted());
+    let out = MpiOutput {
         latency: s.latencies(),
         bcast_cpu: s.bcast_cpu.clone(),
         bcast_cpu_nonroot: s.bcast_cpu_nonroot.clone(),
         skew_applied: s.skew_applied.clone(),
         barrier_round: s.barrier_round(),
-        end_time: eng.now(),
-        events: eng.events_handled(),
+        end_time,
+        events,
         metrics,
-    }
+    };
+    (out, probe)
 }

@@ -1,0 +1,461 @@
+//! `sim::critical_path` — lineage reconstruction and critical-path
+//! extraction over flow-tagged probe streams.
+//!
+//! Every probe record may carry a [`FlowId`] (see `sim::flow`). This module
+//! turns a recorded stream back into *causal* structure:
+//!
+//! * a [`FlowGraph`] links each flow to its **predecessor hop**: the flow
+//!   that delivered the payload to the node where this flow's work began.
+//!   For a NIC-forwarded multicast packet `root → A → B`, the flow
+//!   `(root, tag, B)` starts at node `A`, and its predecessor is
+//!   `(root, tag, A)` — the hop that brought the payload to `A`. The rule
+//!   is purely temporal and needs no protocol knowledge: among flows with
+//!   the same tag whose destination is the start node, pick the one whose
+//!   latest record at that node is the most recent not after this flow's
+//!   first record. Each link strictly decreases the first-record key, so
+//!   the graph is acyclic by construction (and [`FlowGraph::validate`]
+//!   proves it per run).
+//! * a **lineage** is the chain anchor → … → flow, where the anchor is a
+//!   flow with no predecessor — for a complete delivery it starts with the
+//!   host send call at the origin.
+//! * [`FlowGraph::critical_path`] extracts, for one measured window, the
+//!   chain that determined completion (the lineage of the last
+//!   [`FLOW_DELIVERY`] in the window) and decomposes the window into
+//!   per-hop / per-resource buckets that **sum exactly** to the window
+//!   length: a boundary sweep assigns every nanosecond to the innermost
+//!   covering chain span, or to `wait` when no chain span covers it.
+
+use std::collections::BTreeMap;
+
+use crate::flow::FlowId;
+use crate::probe::{Phase, ProbeEvent, ProbeId, Track};
+use crate::time::{SimDuration, SimTime};
+
+/// Delivery anchor: recorded (with a flow) when a message reaches its
+/// destination application callback. Terminates the flow's lineage and
+/// marks the completion candidates for critical-path extraction.
+pub const FLOW_DELIVERY: ProbeId = ProbeId::new("flow_delivery", Track::App);
+
+/// Per-flow facts extracted from the stream.
+#[derive(Clone, Debug)]
+struct FlowInfo {
+    /// `(time, seq)` and node of the flow's first record.
+    first: (SimTime, u64),
+    first_node: u32,
+    /// Earliest `(time, seq)` of a record of this flow per node — when the
+    /// payload first became visible there (the arrival, at the hop's
+    /// destination).
+    node_first: Vec<(u32, SimTime, u64)>,
+    /// `(time, seq)` of the flow's `FLOW_DELIVERY` record, if delivered.
+    delivery: Option<(SimTime, u64)>,
+    /// Whether the flow includes a host-track record (the send call) — the
+    /// anchor of a complete lineage.
+    has_host: bool,
+    /// The causal predecessor hop (filled by the link pass).
+    pred: Option<FlowId>,
+}
+
+/// The causal links between the flows of one recorded run.
+#[derive(Clone, Debug, Default)]
+pub struct FlowGraph {
+    flows: BTreeMap<FlowId, FlowInfo>,
+}
+
+impl FlowGraph {
+    /// Build the graph from a canonical probe stream (events in
+    /// `(time, seq)` record order, e.g. `ProbeSink::to_vec`).
+    pub fn build(events: &[ProbeEvent]) -> FlowGraph {
+        let mut flows: BTreeMap<FlowId, FlowInfo> = BTreeMap::new();
+        for e in events {
+            if e.flow.is_none() {
+                continue;
+            }
+            let key = (e.time, e.seq);
+            let info = flows.entry(e.flow).or_insert_with(|| FlowInfo {
+                first: key,
+                first_node: e.node,
+                node_first: Vec::new(),
+                delivery: None,
+                has_host: false,
+                pred: None,
+            });
+            if key < info.first {
+                info.first = key;
+                info.first_node = e.node;
+            }
+            match info.node_first.iter_mut().find(|(n, _, _)| *n == e.node) {
+                Some(slot) => {
+                    if (slot.1, slot.2) > key {
+                        (slot.1, slot.2) = key;
+                    }
+                }
+                None => info.node_first.push((e.node, e.time, e.seq)),
+            }
+            if e.id.name == FLOW_DELIVERY.name {
+                info.delivery = Some(info.delivery.map_or(key, |d| d.max(key)));
+            }
+            if e.id.track == Track::Host {
+                info.has_host = true;
+            }
+        }
+
+        // Link pass: index flows by (dest, tag), then find each flow's
+        // predecessor hop at its start node.
+        let mut by_dest_tag: BTreeMap<(u32, u64), Vec<FlowId>> = BTreeMap::new();
+        for &f in flows.keys() {
+            by_dest_tag.entry((f.dest(), f.tag())).or_default().push(f);
+        }
+        let mut preds: Vec<(FlowId, FlowId)> = Vec::new();
+        for (&g, info) in &flows {
+            let Some(cands) = by_dest_tag.get(&(info.first_node, g.tag())) else {
+                continue;
+            };
+            let mut best: Option<((SimTime, u64), FlowId)> = None;
+            for &p in cands {
+                if p == g {
+                    continue;
+                }
+                let pi = &flows[&p];
+                let Some(&(_, t, s)) = pi
+                    .node_first
+                    .iter()
+                    .find(|(n, _, _)| *n == info.first_node)
+                else {
+                    continue;
+                };
+                if (t, s) <= info.first && best.is_none_or(|(k, _)| (t, s) > k) {
+                    best = Some(((t, s), p));
+                }
+            }
+            if let Some((_, p)) = best {
+                preds.push((g, p));
+            }
+        }
+        for (g, p) in preds {
+            flows.get_mut(&g).expect("pred source flow exists").pred = Some(p);
+        }
+        FlowGraph { flows }
+    }
+
+    /// All flows seen, in `FlowId` order.
+    pub fn flows(&self) -> impl Iterator<Item = FlowId> + '_ {
+        self.flows.keys().copied()
+    }
+
+    /// Flows that reached a [`FLOW_DELIVERY`] record.
+    pub fn delivered(&self) -> Vec<FlowId> {
+        self.flows
+            .iter()
+            .filter(|(_, i)| i.delivery.is_some())
+            .map(|(&f, _)| f)
+            .collect()
+    }
+
+    /// The causal predecessor hop of `flow`, if any.
+    pub fn pred(&self, flow: FlowId) -> Option<FlowId> {
+        self.flows.get(&flow).and_then(|i| i.pred)
+    }
+
+    /// Node at which `flow`'s work began (the hop's source).
+    pub fn start_node(&self, flow: FlowId) -> Option<u32> {
+        self.flows.get(&flow).map(|i| i.first_node)
+    }
+
+    /// The lineage of `flow`: anchor hop first, `flow` last. Stops (rather
+    /// than loops) if a cycle is ever encountered — [`FlowGraph::validate`]
+    /// reports such a stream as corrupt.
+    pub fn lineage(&self, flow: FlowId) -> Vec<FlowId> {
+        let mut chain = vec![flow];
+        let mut cur = flow;
+        while let Some(p) = self.pred(cur) {
+            if chain.contains(&p) {
+                break;
+            }
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Structural checks for `--check` gates: predecessor links must be
+    /// acyclic, and every delivered flow must have an unbroken lineage back
+    /// to an anchor hop that contains the host send call. Returns one
+    /// message per violation (empty = clean).
+    pub fn validate(&self) -> Vec<String> {
+        let mut errors = Vec::new();
+        for (&g, info) in &self.flows {
+            if let Some(p) = info.pred {
+                let pf = &self.flows[&p];
+                if pf.first >= info.first {
+                    errors.push(format!(
+                        "flow graph not acyclic: pred {p} of {g} does not precede it"
+                    ));
+                }
+            }
+            if info.delivery.is_some() {
+                let chain = self.lineage(g);
+                let anchor = chain[0];
+                let ai = &self.flows[&anchor];
+                if ai.pred.is_some() {
+                    errors.push(format!("lineage of {g} contains a cycle"));
+                } else if !ai.has_host {
+                    errors.push(format!(
+                        "lineage of {g} is broken: anchor {anchor} has no host send record"
+                    ));
+                }
+            }
+        }
+        errors
+    }
+
+    /// Extract the critical path of the measured window `[ws, we]`: the
+    /// lineage of the last delivery in the window, decomposed into per-hop /
+    /// per-resource buckets that sum exactly to `we - ws`. Returns `None`
+    /// when the window contains no delivery.
+    pub fn critical_path(
+        &self,
+        events: &[ProbeEvent],
+        window: (SimTime, SimTime),
+    ) -> Option<CriticalPath> {
+        let (ws, we) = window;
+        // The completion event: the last FLOW_DELIVERY inside the window.
+        let terminal = events
+            .iter()
+            .filter(|e| {
+                e.id.name == FLOW_DELIVERY.name
+                    && e.flow.is_some()
+                    && e.time >= ws
+                    && e.time <= we
+            })
+            .max_by_key(|e| (e.time, e.seq))?
+            .flow;
+        let chain = self.lineage(terminal);
+        let step_of = |f: FlowId| chain.iter().position(|&c| c == f);
+
+        // Collect the chain's spans: Begin/End pairs per (node, track) —
+        // an End record inherits the flow of the Begin that opened it —
+        // plus Complete records.
+        let mut spans: Vec<(u64, u64, usize, Track)> = Vec::new();
+        let mut open: BTreeMap<(u32, u32), (u64, FlowId)> = BTreeMap::new();
+        for e in events {
+            let key = (e.node, e.id.track.tid());
+            match e.phase {
+                Phase::Begin => {
+                    open.insert(key, (e.time.as_nanos(), e.flow));
+                }
+                Phase::End => {
+                    if let Some((s, f)) = open.remove(&key) {
+                        if let Some(i) = step_of(f) {
+                            spans.push((s, e.time.as_nanos(), i, e.id.track));
+                        }
+                    }
+                }
+                Phase::Complete => {
+                    if let Some(i) = step_of(e.flow) {
+                        let s = e.time.as_nanos();
+                        spans.push((s, s + e.dur.as_nanos(), i, e.id.track));
+                    }
+                }
+                Phase::Mark => {}
+            }
+        }
+
+        // Boundary sweep over [ws, we]: assign each segment to the
+        // innermost (latest-starting; tie → latest hop) covering span.
+        let (wsn, wen) = (ws.as_nanos(), we.as_nanos());
+        let mut cuts: Vec<u64> = vec![wsn, wen];
+        for &(s, e, _, _) in &spans {
+            if e > wsn && s < wen {
+                cuts.push(s.clamp(wsn, wen));
+                cuts.push(e.clamp(wsn, wen));
+            }
+        }
+        cuts.sort_unstable();
+        cuts.dedup();
+
+        let steps: Vec<PathStep> = chain
+            .iter()
+            .map(|&f| PathStep {
+                flow: f,
+                from: self.start_node(f).unwrap_or(f.origin()),
+                to: f.dest(),
+            })
+            .collect();
+        let mut buckets: BTreeMap<String, u64> = BTreeMap::new();
+        for pair in cuts.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if b <= a {
+                continue;
+            }
+            let winner = spans
+                .iter()
+                .filter(|&&(s, e, _, _)| s <= a && e >= b)
+                .max_by_key(|&&(s, _, i, _)| (s, i));
+            let key = match winner {
+                Some(&(_, _, i, track)) => {
+                    let st = &steps[i];
+                    format!("h{:02} n{}>n{} {}", i, st.from, st.to, track.name())
+                }
+                None => "wait".to_string(),
+            };
+            *buckets.entry(key).or_insert(0) += b - a;
+        }
+
+        Some(CriticalPath {
+            window,
+            steps,
+            buckets: buckets
+                .into_iter()
+                .map(|(k, v)| (k, SimDuration::from_nanos(v)))
+                .collect(),
+            total: we - ws,
+        })
+    }
+}
+
+/// One hop of a critical path: `flow` carried the payload `from → to`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PathStep {
+    /// The hop's flow.
+    pub flow: FlowId,
+    /// Node where the hop's work began.
+    pub from: u32,
+    /// The hop's delivery endpoint.
+    pub to: u32,
+}
+
+/// The chain of hops that determined one window's completion, with the
+/// window decomposed into per-hop / per-resource time buckets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// The measured window this path explains.
+    pub window: (SimTime, SimTime),
+    /// Hops, anchor first.
+    pub steps: Vec<PathStep>,
+    /// `(label, time)` buckets, sorted by hop then resource; `wait` collects
+    /// time covered by no chain span. Sums exactly to `total`.
+    pub buckets: Vec<(String, SimDuration)>,
+    /// The window length (`we - ws`).
+    pub total: SimDuration,
+}
+
+impl CriticalPath {
+    /// The node route of the path, e.g. `"n0>n1>n3"` — the anchor's start
+    /// node followed by each hop's destination (consecutive duplicates
+    /// collapsed). Two runs took the same path iff signatures match.
+    pub fn signature(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let mut last: Option<u32> = None;
+        for (i, s) in self.steps.iter().enumerate() {
+            if i == 0 {
+                let _ = write!(out, "n{}", s.from);
+                last = Some(s.from);
+            }
+            if last != Some(s.to) {
+                let _ = write!(out, ">n{}", s.to);
+                last = Some(s.to);
+            }
+        }
+        out
+    }
+
+    /// Sum of all buckets — equals `total` by construction; exposed so
+    /// check gates can assert it.
+    pub fn bucket_sum(&self) -> SimDuration {
+        self.buckets
+            .iter()
+            .fold(SimDuration::ZERO, |acc, (_, d)| acc + *d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::{ProbeConfig, ProbeSink};
+
+    const HOSTP: ProbeId = ProbeId::new("cp_host", Track::Host);
+    const PCIP: ProbeId = ProbeId::new("cp_pci", Track::Pci);
+    const WIREP: ProbeId = ProbeId::new("cp_wire", Track::Wire);
+
+    fn at(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    /// Two-hop delivery 0 → 1 → 2: root flow at n0, hop flows (0,t,1) and
+    /// (0,t,2) (the second starting at n1), deliveries at n1 and n2.
+    fn two_hop_stream() -> Vec<ProbeEvent> {
+        let mut s = ProbeSink::new(ProbeConfig::spans());
+        let root = FlowId::new(0, 7, 0);
+        let h1 = FlowId::new(0, 7, 1);
+        let h2 = FlowId::new(0, 7, 2);
+        s.complete_flow(at(0), 0, HOSTP, SimDuration::from_nanos(100), "send", root);
+        s.begin_flow(at(100), 0, PCIP, "sdma", 0, 0, h1);
+        s.end(at(300), 0, PCIP, "sdma");
+        s.begin_flow(at(300), 0, WIREP, "tx", 1, 0, h1);
+        s.end(at(600), 0, WIREP, "tx");
+        // The packet's arrival at n1 is recorded before any forwarding
+        // work it triggers — that mark is what the predecessor link keys on.
+        s.instant_flow(at(620), 1, ProbeId::new("cp_rx", Track::Wire), "arrive", 0, h1);
+        s.instant_flow(at(700), 1, FLOW_DELIVERY, "recv", 0, h1);
+        // Forwarding hop starts at n1 (cut-through: before n1's delivery).
+        s.begin_flow(at(650), 1, WIREP, "tx", 2, 0, h2);
+        s.end(at(950), 1, WIREP, "tx");
+        s.instant_flow(at(1_050), 2, FLOW_DELIVERY, "recv", 0, h2);
+        let mut v = s.to_vec();
+        v.sort_by_key(|e| (e.time, e.seq));
+        v
+    }
+
+    #[test]
+    fn lineage_chains_through_the_forwarding_node() {
+        let ev = two_hop_stream();
+        let g = FlowGraph::build(&ev);
+        let root = FlowId::new(0, 7, 0);
+        let h1 = FlowId::new(0, 7, 1);
+        let h2 = FlowId::new(0, 7, 2);
+        assert_eq!(g.pred(h1), Some(root));
+        assert_eq!(g.pred(h2), Some(h1));
+        assert_eq!(g.pred(root), None);
+        assert_eq!(g.lineage(h2), vec![root, h1, h2]);
+        assert!(g.validate().is_empty(), "{:?}", g.validate());
+    }
+
+    #[test]
+    fn critical_path_buckets_sum_to_the_window() {
+        let ev = two_hop_stream();
+        let g = FlowGraph::build(&ev);
+        let cp = g
+            .critical_path(&ev, (at(0), at(1_050)))
+            .expect("window contains a delivery");
+        assert_eq!(cp.signature(), "n0>n1>n2");
+        assert_eq!(cp.bucket_sum(), cp.total);
+        assert_eq!(cp.total.as_nanos(), 1_050);
+        // The host send, both wire hops, and the SDMA each hold a bucket.
+        assert!(cp.buckets.iter().any(|(k, _)| k.ends_with("host")));
+        assert!(cp.buckets.iter().any(|(k, _)| k.ends_with("wire")));
+        assert!(cp.buckets.iter().any(|(k, _)| k.ends_with("pci")));
+        assert!(cp.buckets.iter().any(|(k, _)| k == "wait"));
+    }
+
+    #[test]
+    fn missing_host_anchor_is_reported() {
+        let mut s = ProbeSink::new(ProbeConfig::spans());
+        let orphan = FlowId::new(3, 1, 4);
+        s.begin_flow(at(0), 3, WIREP, "tx", 4, 0, orphan);
+        s.end(at(100), 3, WIREP, "tx");
+        s.instant_flow(at(200), 4, FLOW_DELIVERY, "recv", 0, orphan);
+        let g = FlowGraph::build(&s.to_vec());
+        let errs = g.validate();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("no host send record"), "{errs:?}");
+    }
+
+    #[test]
+    fn empty_window_has_no_path() {
+        let ev = two_hop_stream();
+        let g = FlowGraph::build(&ev);
+        assert!(g.critical_path(&ev, (at(2_000), at(3_000))).is_none());
+    }
+}

@@ -37,16 +37,22 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod critical_path;
+pub mod flow;
 pub mod parallel;
 pub mod probe;
 mod queue;
 mod rng;
+pub mod series;
 mod stats;
 mod time;
 
+pub use critical_path::{CriticalPath, FlowGraph, PathStep, FLOW_DELIVERY};
 pub use engine::{dispatch_stats, Engine, RunOutcome, Scheduler, World};
-pub use parallel::{Outbox, ShardWorld, ShardedEngine};
+pub use flow::FlowId;
+pub use parallel::{Outbox, ShardStats, ShardWorld, ShardedEngine};
 pub use probe::{Metrics, ProbeConfig, ProbeEvent, ProbeSink};
+pub use series::{GaugeSummary, SeriesConfig, SeriesPoint, SeriesSink, HIST_BINS};
 pub use queue::{default_kind as default_queue_kind, EventClass, EventQueue, QueueKind};
 pub use rng::{splitmix64, DetRng};
 pub use stats::{BusyTracker, Counters, Histogram, OnlineStats};

@@ -132,11 +132,30 @@ impl<H> Default for Outbox<H> {
     }
 }
 
+/// Execution diagnostics for one shard, exposed through
+/// [`ShardedEngine::shard_stats`] (and surfaced as `parallel.*` metrics by
+/// the scenario layer). These describe *how* the run was executed — they
+/// legitimately differ between sequential, caller-mode, and threaded runs,
+/// unlike simulation results.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Windows this shard participated in (run_window invocations).
+    pub windows: u64,
+    /// Windows whose horizon was dynamically tightened below the static
+    /// bound by the shard's own hand-off emissions.
+    pub horizon_tightenings: u64,
+    /// Barrier waits performed (0 in caller mode, 2 per window threaded).
+    pub barrier_waits: u64,
+    /// Events this shard dispatched.
+    pub events: u64,
+}
+
 /// One shard: its world partition, event queue, and dispatch counters.
 struct Lane<W: ShardWorld> {
     world: W,
     sched: Scheduler<W::Event>,
     events_handled: u64,
+    stats: ShardStats,
 }
 
 /// Sense-reversing spin barrier for the worker threads. Spins briefly (the
@@ -216,6 +235,7 @@ impl<W: ShardWorld> ShardedEngine<W> {
                     world,
                     sched: Scheduler::new(),
                     events_handled: 0,
+                    stats: ShardStats::default(),
                 })
                 .collect(),
             lookahead,
@@ -251,6 +271,18 @@ impl<W: ShardWorld> ShardedEngine<W> {
     /// Total events dispatched across all shards.
     pub fn events_handled(&self) -> u64 {
         self.lanes.iter().map(|l| l.events_handled).sum()
+    }
+
+    /// Per-shard execution diagnostics (windows, horizon tightenings,
+    /// barrier waits, events), in shard order.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.lanes
+            .iter()
+            .map(|l| ShardStats {
+                events: l.events_handled,
+                ..l.stats
+            })
+            .collect()
     }
 
     /// Shared access to shard `i`'s world.
@@ -406,6 +438,7 @@ fn worker_loop<W: ShardWorld>(
         }
         let next_t = lane.sched.peek_time().map_or(u64::MAX, SimTime::as_nanos);
         sh.next[me].store(next_t, Ordering::Release);
+        lane.stats.barrier_waits += 1;
         sh.barrier.wait(&mut sense);
 
         // Global decision point (identical inputs on every worker).
@@ -441,6 +474,7 @@ fn worker_loop<W: ShardWorld>(
         if !outbox.msgs.is_empty() {
             flush_outbox(me, outbox, &sh.mailboxes);
         }
+        lane.stats.barrier_waits += 1;
         sh.barrier.wait(&mut sense);
     };
     dispatch_stats::add(local_handled, started.elapsed());
@@ -470,6 +504,12 @@ fn run_window<W: ShardWorld>(
         let (_, event) = lane.sched.pop_advance().expect("peeked nonempty");
         lane.world.handle(event, &mut lane.sched, outbox);
         handled += 1;
+    }
+    lane.stats.windows += 1;
+    if outbox.earliest != SimTime::MAX
+        && horizon(outbox.earliest.as_nanos(), lookahead) < static_bound_ns
+    {
+        lane.stats.horizon_tightenings += 1;
     }
     lane.events_handled += handled;
     handled

@@ -26,6 +26,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::flow::FlowId;
 use crate::time::{SimDuration, SimTime};
 
 /// The resource a probe point belongs to; becomes the Perfetto thread
@@ -127,6 +128,10 @@ pub struct ProbeEvent {
     pub a: u64,
     /// Second payload word (wire bytes, ...).
     pub b: u64,
+    /// Causal flow this record belongs to ([`FlowId::NONE`] when the record
+    /// is not message-scoped). `End` records may leave this `NONE`: span
+    /// pairing per `(node, track)` inherits the opening `Begin`'s flow.
+    pub flow: FlowId,
 }
 
 /// What a run records.
@@ -223,8 +228,8 @@ impl ProbeSink {
         self.config
     }
 
-    /// Record one event. Free (one branch) when disabled; never allocates
-    /// beyond the ring reserved at construction.
+    /// Record one event with no flow identity. Free (one branch) when
+    /// disabled; never allocates beyond the ring reserved at construction.
     #[inline]
     #[allow(clippy::too_many_arguments)]
     pub fn record(
@@ -237,6 +242,26 @@ impl ProbeSink {
         label: &'static str,
         a: u64,
         b: u64,
+    ) {
+        self.record_flow(time, node, id, phase, dur, label, a, b, FlowId::NONE);
+    }
+
+    /// Record one event tagged with the causal flow it belongs to. Free (one
+    /// branch) when disabled; never allocates beyond the ring reserved at
+    /// construction.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_flow(
+        &mut self,
+        time: SimTime,
+        node: u32,
+        id: ProbeId,
+        phase: Phase,
+        dur: SimDuration,
+        label: &'static str,
+        a: u64,
+        b: u64,
+        flow: FlowId,
     ) {
         if !self.config.enabled {
             return;
@@ -251,6 +276,7 @@ impl ProbeSink {
             label,
             a,
             b,
+            flow,
         };
         self.seq += 1;
         if self.events.len() < self.config.capacity {
@@ -269,6 +295,22 @@ impl ProbeSink {
         self.record(time, node, id, Phase::Begin, SimDuration::ZERO, label, a, b);
     }
 
+    /// Open a span on `(node, id.track)` belonging to `flow`.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn begin_flow(
+        &mut self,
+        time: SimTime,
+        node: u32,
+        id: ProbeId,
+        label: &'static str,
+        a: u64,
+        b: u64,
+        flow: FlowId,
+    ) {
+        self.record_flow(time, node, id, Phase::Begin, SimDuration::ZERO, label, a, b, flow);
+    }
+
     /// Close the open span on `(node, id.track)`.
     #[inline]
     pub fn end(&mut self, time: SimTime, node: u32, id: ProbeId, label: &'static str) {
@@ -281,10 +323,38 @@ impl ProbeSink {
         self.record(time, node, id, Phase::Mark, SimDuration::ZERO, label, a, 0);
     }
 
+    /// Record a point event belonging to `flow`.
+    #[inline]
+    pub fn instant_flow(
+        &mut self,
+        time: SimTime,
+        node: u32,
+        id: ProbeId,
+        label: &'static str,
+        a: u64,
+        flow: FlowId,
+    ) {
+        self.record_flow(time, node, id, Phase::Mark, SimDuration::ZERO, label, a, 0, flow);
+    }
+
     /// Record a self-contained `[time, time + dur]` span.
     #[inline]
     pub fn complete(&mut self, time: SimTime, node: u32, id: ProbeId, dur: SimDuration, label: &'static str) {
         self.record(time, node, id, Phase::Complete, dur, label, 0, 0);
+    }
+
+    /// Record a self-contained `[time, time + dur]` span belonging to `flow`.
+    #[inline]
+    pub fn complete_flow(
+        &mut self,
+        time: SimTime,
+        node: u32,
+        id: ProbeId,
+        dur: SimDuration,
+        label: &'static str,
+        flow: FlowId,
+    ) {
+        self.record_flow(time, node, id, Phase::Complete, dur, label, 0, 0, flow);
     }
 
     /// Recorded events, oldest first (ring rotation already applied).
@@ -392,6 +462,21 @@ impl Metrics {
         self.entries.iter().map(|(k, &v)| (k.as_str(), v))
     }
 
+    /// A copy with every `"<layer>.*"` key removed. Parity checks use this
+    /// to drop execution-diagnostic layers (e.g. `parallel`) whose values
+    /// legitimately depend on how a run was executed, not what it computed.
+    pub fn without_layer(&self, layer: &str) -> Metrics {
+        let prefix = format!("{layer}.");
+        Metrics {
+            entries: self
+                .entries
+                .iter()
+                .filter(|(k, _)| !k.starts_with(&prefix))
+                .map(|(k, &v)| (k.clone(), v))
+                .collect(),
+        }
+    }
+
     /// Number of counters held.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -414,7 +499,11 @@ impl Metrics {
 ///
 /// The output loads directly in <https://ui.perfetto.dev> (or
 /// `chrome://tracing`): one process per node, one thread per resource track,
-/// `B`/`E`/`X`/`i` phases, timestamps in microseconds.
+/// `B`/`E`/`X`/`i` phases, timestamps in microseconds. Records carrying a
+/// [`FlowId`](crate::flow::FlowId) additionally emit Chrome *flow events*
+/// (`ph:"s"`/`"t"`/`"f"`, keyed by the packed flow id), which Perfetto
+/// renders as arrows linking the spans of one delivery across tracks and
+/// nodes.
 pub mod perfetto {
     use super::{Phase, ProbeEvent, Track};
 
@@ -429,6 +518,17 @@ pub mod perfetto {
     /// trace-event JSON document.
     pub fn chrome_trace_json<'a>(events: impl Iterator<Item = &'a ProbeEvent> + Clone) -> String {
         use std::fmt::Write;
+        // Flow arrows need to know each flow's first and last anchorable
+        // record (`s` opens the arrow chain, `t` continues it, `f` ends it).
+        let mut flow_span: std::collections::BTreeMap<u64, (u64, u64)> =
+            std::collections::BTreeMap::new();
+        for e in events.clone() {
+            if e.flow.is_some() && e.phase != Phase::End {
+                let entry = flow_span.entry(e.flow.raw()).or_insert((e.seq, e.seq));
+                entry.0 = entry.0.min(e.seq);
+                entry.1 = entry.1.max(e.seq);
+            }
+        }
         let mut out = String::with_capacity(1 << 16);
         out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
         let mut first = true;
@@ -491,7 +591,42 @@ pub mod perfetto {
             if e.phase == Phase::Mark {
                 out.push_str(",\"s\":\"t\"");
             }
-            let _ = write!(out, ",\"args\":{{\"a\":{},\"b\":{}}}}}", e.a, e.b);
+            if e.flow.is_some() {
+                let _ = write!(out, ",\"args\":{{\"a\":{},\"b\":{},\"flow\":{}}}}}", e.a, e.b, e.flow.raw());
+            } else {
+                let _ = write!(out, ",\"args\":{{\"a\":{},\"b\":{}}}}}", e.a, e.b);
+            }
+            // Flow arrow anchored to this record (same ts/pid/tid binds it
+            // to the slice just emitted).
+            if e.flow.is_some() && e.phase != Phase::End {
+                let (first, last) = flow_span[&e.flow.raw()];
+                let fph = if first == last {
+                    None // single-record flow: no arrow to draw
+                } else if e.seq == first {
+                    Some("s")
+                } else if e.seq == last {
+                    Some("f")
+                } else {
+                    Some("t")
+                };
+                if let Some(fph) = fph {
+                    // A slice event for this record was just emitted, so a
+                    // separator is always needed.
+                    out.push(',');
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"flow\",\"cat\":\"flow\",\"ph\":\"{}\",\"id\":{},\"ts\":",
+                        fph,
+                        e.flow.raw()
+                    );
+                    write_ts(&mut out, e.time.as_nanos());
+                    let _ = write!(out, ",\"pid\":{},\"tid\":{}", e.node, e.id.track.tid());
+                    if fph == "f" {
+                        out.push_str(",\"bp\":\"e\"");
+                    }
+                    out.push('}');
+                }
+            }
         }
         out.push_str("]}");
         out

@@ -1,0 +1,412 @@
+//! `sim::series` — deterministic time-series telemetry.
+//!
+//! Gauges are step functions over simulated time: send/receive token
+//! occupancy, NIC SRAM buffer usage, PCI and injection-link utilization,
+//! event-queue depth. A [`SeriesSink`] records one [`SeriesPoint`] per
+//! *change* of a `(node, gauge)` pair (consecutive equal samples are
+//! deduplicated), so the stored stream is exactly the step function and is
+//! byte-identical however often a site samples.
+//!
+//! The discipline matches `sim::probe`:
+//!
+//! * **zero-cost when disabled** — [`SeriesSink::record`] is one branch and
+//!   never allocates on a disabled sink;
+//! * **bounded** — points land in a ring pre-allocated at construction;
+//!   overflow bumps a `dropped` counter instead of growing;
+//! * **canonical merge** — per-shard sinks merge by a stable sort on
+//!   `(time, node, gauge)`, and since every `(node, gauge)` pair is owned
+//!   by exactly one shard, the merged stream is identical at any shard
+//!   count.
+//!
+//! [`SeriesSink::summarize`] folds the step functions into per-gauge
+//! [`GaugeSummary`] rows: min/max/last, a time-weighted mean, and a
+//! fixed-width histogram of time spent at each value band.
+
+use crate::time::SimTime;
+
+/// What a run samples.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SeriesConfig {
+    enabled: bool,
+    capacity: usize,
+}
+
+impl SeriesConfig {
+    /// Default ring capacity of [`SeriesConfig::on`].
+    pub const DEFAULT_CAPACITY: usize = 1 << 18;
+
+    /// Sample nothing; every gauge site reduces to one branch.
+    pub const fn off() -> Self {
+        SeriesConfig {
+            enabled: false,
+            capacity: 0,
+        }
+    }
+
+    /// Sample gauges into a ring of the default capacity.
+    pub const fn on() -> Self {
+        SeriesConfig {
+            enabled: true,
+            capacity: Self::DEFAULT_CAPACITY,
+        }
+    }
+
+    /// Sample gauges into a ring of `capacity` points.
+    pub const fn with_capacity(capacity: usize) -> Self {
+        SeriesConfig {
+            enabled: capacity > 0,
+            capacity,
+        }
+    }
+
+    /// Whether anything is sampled.
+    pub const fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+impl Default for SeriesConfig {
+    fn default() -> Self {
+        SeriesConfig::off()
+    }
+}
+
+/// One gauge transition: `(node, gauge)` took `value` at `time`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SeriesPoint {
+    /// Simulated time of the transition.
+    pub time: SimTime,
+    /// Total order among equal timestamps (per sink; renumbered on merge).
+    pub seq: u64,
+    /// Node the gauge belongs to (shard index for execution gauges).
+    pub node: u32,
+    /// Static gauge name. Gauges prefixed `exec_` describe the *execution*
+    /// (queue depths, shard scheduling) and are allowed to differ between
+    /// sequential and sharded runs; all others are simulation state and
+    /// must be mode-independent.
+    pub gauge: &'static str,
+    /// The new value.
+    pub value: u64,
+}
+
+/// Number of fixed-width value bands in a [`GaugeSummary`] histogram.
+pub const HIST_BINS: usize = 8;
+
+/// Summary of one `(node, gauge)` step function over `[0, end]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaugeSummary {
+    /// Gauge name.
+    pub gauge: &'static str,
+    /// Owning node.
+    pub node: u32,
+    /// Smallest value taken.
+    pub min: u64,
+    /// Largest value taken.
+    pub max: u64,
+    /// Value at `end`.
+    pub last: u64,
+    /// Time-weighted mean, scaled by 1000 (integer, deterministic).
+    pub mean_x1000: u64,
+    /// Nanoseconds spent in each of [`HIST_BINS`] equal value bands of
+    /// `[min, max]` (all in bin 0 when `min == max`). Sums to the observed
+    /// span (first transition to `end`).
+    pub hist: [u64; HIST_BINS],
+}
+
+/// The ring-buffer sink gauge transitions land in.
+#[derive(Clone, Debug, Default)]
+pub struct SeriesSink {
+    config: SeriesConfig,
+    points: Vec<SeriesPoint>,
+    head: usize,
+    seq: u64,
+    dropped: u64,
+    /// Last value per `(node, gauge)` — the dedup filter. Linear scan: the
+    /// key population is nodes × gauge kinds, a few hundred at most.
+    last: Vec<((u32, &'static str), u64)>,
+}
+
+impl SeriesSink {
+    /// A sink for `config` (pre-allocates the ring iff enabled).
+    pub fn new(config: SeriesConfig) -> Self {
+        let points = if config.is_enabled() {
+            Vec::with_capacity(config.capacity)
+        } else {
+            Vec::new()
+        };
+        SeriesSink {
+            config,
+            points,
+            head: 0,
+            seq: 0,
+            dropped: 0,
+            last: Vec::new(),
+        }
+    }
+
+    /// A disabled sink (the default for clusters).
+    pub fn disabled() -> Self {
+        SeriesSink::new(SeriesConfig::off())
+    }
+
+    /// Whether samples are kept.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.config.enabled
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> SeriesConfig {
+        self.config
+    }
+
+    /// Sample `(node, gauge) = value` at `time`. Free (one branch) when
+    /// disabled; a no-op when the value is unchanged; otherwise a ring
+    /// write (overflow bumps [`SeriesSink::dropped`], never grows).
+    #[inline]
+    pub fn record(&mut self, time: SimTime, node: u32, gauge: &'static str, value: u64) {
+        if !self.config.enabled {
+            return;
+        }
+        match self.last.iter_mut().find(|(k, _)| *k == (node, gauge)) {
+            Some((_, v)) if *v == value => return,
+            Some((_, v)) => *v = value,
+            None => self.last.push(((node, gauge), value)),
+        }
+        let p = SeriesPoint {
+            time,
+            seq: self.seq,
+            node,
+            gauge,
+            value,
+        };
+        self.seq += 1;
+        if self.points.len() < self.config.capacity {
+            self.points.push(p);
+        } else {
+            self.points[self.head] = p;
+            self.head = (self.head + 1) % self.config.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Recorded transitions, oldest first (ring rotation already applied).
+    pub fn iter(&self) -> impl Iterator<Item = &SeriesPoint> + Clone + '_ {
+        let (tail, front) = self.points.split_at(self.head.min(self.points.len()));
+        front.iter().chain(tail.iter())
+    }
+
+    /// Number of transitions currently held.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether nothing was sampled (or the sink is disabled).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Ring slots actually allocated (0 for a disabled sink).
+    pub fn allocated_capacity(&self) -> usize {
+        self.points.capacity()
+    }
+
+    /// Transitions overwritten because the ring filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Merge per-shard sinks into one canonical stream: stable sort by
+    /// `(time, node, gauge)` (preserving each sink's internal order), then
+    /// renumber. Every `(node, gauge)` pair is sampled by exactly one
+    /// shard, so the merged stream is independent of the sharding.
+    pub fn merge_canonical(sinks: Vec<SeriesSink>) -> SeriesSink {
+        let enabled = sinks.iter().any(SeriesSink::is_enabled);
+        let capacity: usize = sinks.iter().map(|s| s.config.capacity).sum();
+        let dropped: u64 = sinks.iter().map(|s| s.dropped).sum();
+        let mut points: Vec<SeriesPoint> =
+            Vec::with_capacity(sinks.iter().map(SeriesSink::len).sum());
+        for sink in &sinks {
+            points.extend(sink.iter().copied());
+        }
+        points.sort_by_key(|p| (p.time, p.node, p.gauge));
+        for (i, p) in points.iter_mut().enumerate() {
+            p.seq = i as u64;
+        }
+        let seq = points.len() as u64;
+        SeriesSink {
+            config: SeriesConfig {
+                enabled,
+                capacity: capacity.max(points.len()),
+            },
+            points,
+            head: 0,
+            seq,
+            dropped,
+            last: Vec::new(),
+        }
+    }
+
+    /// Fold every `(node, gauge)` step function into a [`GaugeSummary`],
+    /// sorted by `(gauge, node)`. Each function is evaluated from its first
+    /// transition to `end`.
+    pub fn summarize(&self, end: SimTime) -> Vec<GaugeSummary> {
+        // Group points per (gauge, node), preserving time order.
+        let mut keys: Vec<(&'static str, u32)> = Vec::new();
+        for p in self.iter() {
+            if !keys.contains(&(p.gauge, p.node)) {
+                keys.push((p.gauge, p.node));
+            }
+        }
+        keys.sort();
+        let mut out = Vec::with_capacity(keys.len());
+        for (gauge, node) in keys {
+            let pts: Vec<&SeriesPoint> = self
+                .iter()
+                .filter(|p| p.gauge == gauge && p.node == node)
+                .collect();
+            let min = pts.iter().map(|p| p.value).min().unwrap_or(0);
+            let max = pts.iter().map(|p| p.value).max().unwrap_or(0);
+            let last = pts.last().map_or(0, |p| p.value);
+            // Durations at each value: from each transition to the next
+            // (or to `end`).
+            let mut weighted: u128 = 0;
+            let mut span: u64 = 0;
+            let mut hist = [0u64; HIST_BINS];
+            for (i, p) in pts.iter().enumerate() {
+                let until = pts
+                    .get(i + 1)
+                    .map_or(end, |n| n.time)
+                    .max(p.time);
+                let dur = until.as_nanos().saturating_sub(p.time.as_nanos());
+                if dur == 0 {
+                    continue;
+                }
+                weighted += u128::from(dur) * u128::from(p.value);
+                span += dur;
+                let bin = if max == min {
+                    0
+                } else {
+                    // Fixed-width bands over [min, max], top value inclusive.
+                    (((p.value - min) * HIST_BINS as u64) / (max - min + 1)) as usize
+                };
+                hist[bin.min(HIST_BINS - 1)] += dur;
+            }
+            let mean_x1000 = if span == 0 {
+                last * 1000
+            } else {
+                ((weighted * 1000) / u128::from(span)) as u64
+            };
+            out.push(GaugeSummary {
+                gauge,
+                node,
+                min,
+                max,
+                last,
+                mean_x1000,
+                hist,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing_and_allocates_nothing() {
+        let mut s = SeriesSink::disabled();
+        for i in 0..10_000 {
+            s.record(at(i), 0, "tokens", i);
+        }
+        assert!(s.is_empty());
+        assert_eq!(s.allocated_capacity(), 0, "disabled sink must not allocate");
+        assert!(!s.is_enabled());
+    }
+
+    #[test]
+    fn consecutive_equal_samples_deduplicate() {
+        let mut s = SeriesSink::new(SeriesConfig::with_capacity(16));
+        s.record(at(0), 0, "tokens", 4);
+        s.record(at(10), 0, "tokens", 4);
+        s.record(at(20), 0, "tokens", 3);
+        s.record(at(30), 0, "tokens", 3);
+        s.record(at(40), 0, "tokens", 4);
+        let vals: Vec<u64> = s.iter().map(|p| p.value).collect();
+        assert_eq!(vals, vec![4, 3, 4]);
+        // An equal value on a different node is not deduplicated away.
+        s.record(at(50), 1, "tokens", 4);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn ring_overflow_counts_dropped() {
+        let mut s = SeriesSink::new(SeriesConfig::with_capacity(4));
+        for i in 0..10u64 {
+            s.record(at(i), 0, "q", i);
+        }
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.dropped(), 6);
+        let vals: Vec<u64> = s.iter().map(|p| p.value).collect();
+        assert_eq!(vals, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn merge_is_canonical_and_shard_independent() {
+        let mk = |recs: &[(u64, u32, u64)]| {
+            let mut s = SeriesSink::new(SeriesConfig::with_capacity(64));
+            for &(t, n, v) in recs {
+                s.record(at(t), n, "tokens", v);
+            }
+            s
+        };
+        let whole = mk(&[(0, 0, 1), (0, 1, 2), (5, 0, 3), (7, 1, 4)]);
+        let a = mk(&[(0, 0, 1), (5, 0, 3)]);
+        let b = mk(&[(0, 1, 2), (7, 1, 4)]);
+        let merged = SeriesSink::merge_canonical(vec![a, b]);
+        let one = SeriesSink::merge_canonical(vec![whole]);
+        let m: Vec<_> = merged.iter().copied().collect();
+        let o: Vec<_> = one.iter().copied().collect();
+        assert_eq!(m, o, "merge must not depend on sharding");
+    }
+
+    #[test]
+    fn summary_is_time_weighted_and_hist_sums_to_span() {
+        let mut s = SeriesSink::new(SeriesConfig::with_capacity(64));
+        // value 2 on [0,100), 6 on [100,400), 2 on [400,1000].
+        s.record(at(0), 3, "tokens", 2);
+        s.record(at(100), 3, "tokens", 6);
+        s.record(at(400), 3, "tokens", 2);
+        let sums = s.summarize(at(1000));
+        assert_eq!(sums.len(), 1);
+        let g = sums[0];
+        assert_eq!((g.gauge, g.node), ("tokens", 3));
+        assert_eq!((g.min, g.max, g.last), (2, 6, 2));
+        // mean = (2*700 + 6*300) / 1000 = 3.2
+        assert_eq!(g.mean_x1000, 3200);
+        assert_eq!(g.hist.iter().sum::<u64>(), 1000);
+        // min band holds the 700ns at value 2; top band the 300ns at 6.
+        assert_eq!(g.hist[0], 700);
+        assert_eq!(g.hist.iter().rev().sum::<u64>() - g.hist[0], 300);
+    }
+
+    #[test]
+    fn summaries_sort_by_gauge_then_node() {
+        let mut s = SeriesSink::new(SeriesConfig::with_capacity(64));
+        s.record(at(0), 1, "z", 1);
+        s.record(at(0), 0, "a", 1);
+        s.record(at(0), 0, "z", 1);
+        let keys: Vec<(&str, u32)> = s
+            .summarize(at(10))
+            .iter()
+            .map(|g| (g.gauge, g.node))
+            .collect();
+        assert_eq!(keys, vec![("a", 0), ("z", 0), ("z", 1)]);
+    }
+}

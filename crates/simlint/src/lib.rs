@@ -27,7 +27,7 @@ use std::path::{Path, PathBuf};
 use lexer::{lex, Comment, Tok, TokKind};
 use rules::{
     is_known_rule, rule_info, ALLOW_HYGIENE, DET_HASH, DET_THREAD, DET_WALLTIME, ERROR_UNWRAP,
-    HOT_ALLOC, PROBE_UNIQUE, UNITS,
+    FLOW_ID, HOT_ALLOC, PROBE_UNIQUE, UNITS,
 };
 
 // ---------------------------------------------------------------------------
@@ -45,6 +45,9 @@ pub struct FileClass {
     /// `sim::time` itself — the one module allowed to convert between typed
     /// time and raw integers, so `units` does not apply.
     pub time_module: bool,
+    /// `sim::flow` itself — the one module allowed to touch the raw packed
+    /// representation of flow identity, so `flow-id` does not apply.
+    pub flow_module: bool,
 }
 
 impl FileClass {
@@ -55,6 +58,7 @@ impl FileClass {
             protocol: true,
             walltime_exempt: false,
             time_module: false,
+            flow_module: false,
         }
     }
 }
@@ -89,6 +93,7 @@ pub fn classify(rel: &str) -> Option<FileClass> {
         protocol: protocol_roots.iter().any(|p| rel.starts_with(p)),
         walltime_exempt: rel.starts_with("crates/bench/"),
         time_module: rel == "crates/sim/src/time.rs",
+        flow_module: rel == "crates/sim/src/flow.rs",
     })
 }
 
@@ -580,6 +585,38 @@ fn scan_rules(
                     });
                 }
             }
+        }
+        // flow-id: rebuilding flow identity from a raw integer
+        // (`FlowId::from_raw(...)`) outside `sim::flow`.
+        if !class.flow_module
+            && t.text == "FlowId"
+            && punct_at(toks, i + 1, ':')
+            && punct_at(toks, i + 2, ':')
+            && ident_at(toks, i + 3, "from_raw")
+            && punct_at(toks, i + 4, '(')
+        {
+            diags.push(RawDiag {
+                rule: FLOW_ID,
+                line: t.line,
+                message: "`FlowId::from_raw` rebuilds flow identity from a raw integer"
+                    .to_string(),
+            });
+        }
+        // flow-id: a flow-named binding, field, or parameter typed as a bare
+        // `u64` (`flow: u64`, `flow_id: u64`) — flow identity must stay in
+        // the packed newtype. A double colon (`flow::`) is a module path,
+        // not a type ascription.
+        if !class.flow_module
+            && (t.text == "flow" || t.text == "flow_id")
+            && punct_at(toks, i + 1, ':')
+            && !punct_at(toks, i + 2, ':')
+            && ident_at(toks, i + 2, "u64")
+        {
+            diags.push(RawDiag {
+                rule: FLOW_ID,
+                line: t.line,
+                message: format!("`{}: u64` stores flow identity as a raw integer", t.text),
+            });
         }
         // hot-alloc patterns rooted on identifiers.
         if let Some(span) = in_hot(i) {

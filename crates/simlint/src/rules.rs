@@ -15,7 +15,10 @@
 //!   through `expect("<named invariant>")`, never bare `unwrap()`.
 //! * **O — observability**: [`PROBE_UNIQUE`]. `ProbeId` names key Perfetto
 //!   categories, golden traces, and latency attribution; a duplicate name
-//!   silently merges two probe points into one timeline.
+//!   silently merges two probe points into one timeline. [`FLOW_ID`]: flow
+//!   identity is the packed `gm_sim::FlowId` newtype; a raw `u64` copy of
+//!   it bypasses the validity bit and field packing that causal lineage
+//!   reconstruction depends on.
 //!
 //! Plus [`ALLOW_HYGIENE`], which polices the suppression mechanism itself.
 
@@ -44,6 +47,8 @@ pub const HOT_ALLOC: &str = "hot-alloc";
 pub const ERROR_UNWRAP: &str = "error-unwrap";
 /// O: `ProbeId::new("<name>", ...)` names must be unique workspace-wide.
 pub const PROBE_UNIQUE: &str = "probe-unique";
+/// O: no raw `u64` flow identifiers outside `sim::flow`.
+pub const FLOW_ID: &str = "flow-id";
 /// Suppressions must name a known rule, carry a reason, and actually fire.
 pub const ALLOW_HYGIENE: &str = "allow-hygiene";
 
@@ -83,6 +88,11 @@ pub const RULES: &[RuleInfo] = &[
         name: PROBE_UNIQUE,
         summary: "duplicate ProbeId name — probe identities must be unique workspace-wide",
         help: "probe events are keyed by their static name (Perfetto categories, golden traces, attribution); pick a name no other ProbeId::new(...) uses",
+    },
+    RuleInfo {
+        name: FLOW_ID,
+        summary: "raw u64 flow identifier outside sim::flow loses the packed-FlowId type safety",
+        help: "pass and store gm_sim::FlowId; only crates/sim/src/flow.rs may touch the raw representation (from_raw), reading .raw() for serialization is fine",
     },
     RuleInfo {
         name: ALLOW_HYGIENE,

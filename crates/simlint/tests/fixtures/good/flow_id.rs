@@ -1,0 +1,21 @@
+// Flow identity stays in the packed newtype end-to-end; `.raw()` is read
+// only to serialize (Perfetto flow-event ids), never to rebuild identity.
+
+struct PacketMeta {
+    flow: FlowId,
+    len: usize,
+}
+
+fn forward(meta: &PacketMeta) -> FlowId {
+    meta.flow
+}
+
+fn serialize(out: &mut String, meta: &PacketMeta) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "{{\"flow\":{}}}", meta.flow.raw());
+}
+
+// An unrelated `flow::` module path is not a type ascription.
+fn shaped() -> flow::Shape {
+    flow::Shape::default()
+}

@@ -47,6 +47,13 @@ run run -q --release -p bench "${CARGO_FLAGS[@]}" --bin trace_explore -- \
   --nodes 16 --size 4096 --mode nic --shape adaptive --check
 echo "ci: trace schema OK (results/trace_nic_16n_4096B.json)"
 
+# Causal-tracing gate: the flow graph of the headline configuration must be
+# acyclic with complete lineages, and every measured window's critical-path
+# buckets must sum exactly to the completion latency (DESIGN.md §12).
+run run -q --release -p bench "${CARGO_FLAGS[@]}" --bin flow_explore -- \
+  --nodes 16 --size 4096 --mode nic --shape adaptive --check >/dev/null
+echo "ci: flow check OK (lineages complete, critical-path buckets exact)"
+
 # Perf-regression gate: re-measure the scalability sweep's dispatch rate
 # and compare events_per_sec against the committed baseline; more than 25%
 # regression fails the build. Rates are per-second, so the short gate run
