@@ -21,6 +21,7 @@ use bytes::BytesMut;
 use gm_sim::{FlowId, SimTime};
 use myrinet::{GroupId, NodeId, Packet, PacketKind, MTU};
 
+use gm::proto::{self, RxVerdict};
 use gm::{flow_tag, Cb, GmParams, NicCore, NicExtension};
 
 use crate::group::{
@@ -226,12 +227,11 @@ impl McastExt {
             return;
         }
         let len = data.len();
-        let first_seq = g.send_seq;
+        let first_seq = g.tx.next_seq();
         let mut off = 0usize;
         loop {
             let chunk = (len - off).min(MTU);
-            let seq = g.send_seq;
-            g.send_seq += 1;
+            let seq = g.tx.assign_seq();
             g.records.push_back(McastRec {
                 seq,
                 offset: off as u32,
@@ -246,7 +246,7 @@ impl McastExt {
                 break;
             }
         }
-        let last_seq = g.send_seq - 1;
+        let last_seq = g.tx.next_seq() - 1;
         g.out_msgs.push_back((tag, last_seq));
         core.counters.add("mcast_packets_out", last_seq - first_seq + 1);
         match self.config.multisend {
@@ -320,7 +320,7 @@ impl McastExt {
             return;
         };
         let root = g.root;
-        let next = g.children.get(idx + 1).copied();
+        let next = proto::next_replica(g.children.len(), idx).map(|i| g.children[i]);
         if let Some(rec) = g.record(seq) {
             rec.last_tx = Some(now);
             if let Some(child) = next {
@@ -369,12 +369,12 @@ impl McastExt {
             return;
         };
         let parent = g.parent.expect("non-root received a multicast packet");
-        if seq != g.recv_seq {
+        if let RxVerdict::OutOfOrder { reack } = g.rx.verdict(seq) {
             core.counters.bump("mcast_out_of_order");
             core.free_recv_buffer();
             // Re-ack the last in-order packet so the parent's acked array
             // advances even if our ack was lost.
-            if let Some(a) = g.recv_seq.checked_sub(1) {
+            if let Some(a) = reack {
                 core.ext_tx(Packet::mcast_ack(me, parent, group, a), Cb::None);
             }
             return;
@@ -404,7 +404,7 @@ impl McastExt {
             });
         }
         let g = self.groups.get_mut(&group).expect("group exists");
-        g.recv_seq += 1;
+        g.rx.accept();
         let msg = g.in_msgs.back_mut().expect("open message");
         debug_assert_eq!(msg.received, offset);
         msg.data.extend_from_slice(&pkt.payload);
@@ -413,14 +413,10 @@ impl McastExt {
 
         let has_children = !g.children.is_empty();
         let hold_sram = self.config.retx_buffer == RetxBufferPolicy::HoldSram;
-        let mut refs: u8 = 1; // the RDMA upload
-        if has_children {
-            refs += 1; // the forwarding chain
-            if hold_sram {
-                refs += 1; // held until all children ack
-            }
-        }
-        self.buf_refs.insert((group, seq), refs);
+        // One ref for the RDMA upload, one for the forwarding chain, one
+        // held until all children ack (HoldSram ablation only).
+        self.buf_refs
+            .insert((group, seq), proto::fwd_buf_refs(has_children, hold_sram));
 
         // Forward before acking: the replica chain is the latency-critical
         // path ("an intermediate NIC can forward the packets of a message
@@ -481,7 +477,7 @@ impl McastExt {
         let now = core.now();
         if let Some(g) = self.groups.get_mut(&group) {
             let root = g.root;
-            let next = g.children.get(idx + 1).copied();
+            let next = proto::next_replica(g.children.len(), idx).map(|i| g.children[i]);
             if let Some(rec) = g.record(seq) {
                 rec.last_tx = Some(now);
                 if let Some(child) = next {
@@ -641,7 +637,7 @@ impl McastExt {
         let me = core.node();
         let g = self.groups.get_mut(&group).expect("checked by caller");
         let parent = g.parent.expect("non-root");
-        g.recv_seq += 1;
+        g.rx.accept();
         debug_assert!(g.bar_entered, "release precedes local entry");
         let tag = g.bar_tag;
         g.bar_round += 1;
@@ -751,12 +747,16 @@ impl McastExt {
             core.counters.bump("mcast_stray_ack");
             return;
         };
-        g.acked[ci] = g.acked[ci].max(seq + 1);
+        g.acked.on_ack(ci, seq);
         let min_acked = g.min_acked();
         let is_forwarder = g.parent.is_some();
+        // Records strictly below the release horizon are globally acked and
+        // may be freed (the seeded off-by-one mutation widens the horizon —
+        // freeing a record no one confirmed, which kills retransmission).
+        let horizon = proto::release_horizon(min_acked, core.params().mutation);
         let mut freed: Vec<u64> = Vec::new();
         while let Some(front) = g.records.front() {
-            if front.seq >= min_acked {
+            if front.seq >= horizon {
                 break;
             }
             let rec = g.records.pop_front().expect("nonempty");
@@ -838,7 +838,7 @@ impl McastExt {
             rec.retries += 1;
             max_retries = max_retries.max(rec.retries);
             for (ci, &child) in children.iter().enumerate() {
-                if acked[ci] <= rec.seq {
+                if acked.needs(ci, rec.seq) {
                     to_queue.push(SingleTx {
                         group,
                         seq: rec.seq,
@@ -882,7 +882,7 @@ impl McastExt {
             };
             let still_needed = g
                 .child_index(child)
-                .map(|ci| g.acked[ci] <= seq)
+                .map(|ci| g.acked.needs(ci, seq))
                 .unwrap_or(false);
             let root = g.root;
             let rec_exists = g.record(seq).is_some();

@@ -11,6 +11,7 @@
 use std::collections::VecDeque;
 
 use bytes::{Bytes, BytesMut};
+use gm::proto::{ChildAcks, GbnRx, GbnTx};
 use gm_sim::SimTime;
 use myrinet::{GroupId, NodeId, PortId};
 
@@ -213,13 +214,13 @@ pub(crate) struct GroupState {
     pub root: NodeId,
     pub parent: Option<NodeId>,
     pub children: Vec<NodeId>,
-    /// Next sequence number to assign (root only).
-    pub send_seq: u64,
-    /// Next sequence number expected from the parent.
-    pub recv_seq: u64,
+    /// Go-Back-N sender window: next sequence number to assign (root only).
+    pub tx: GbnTx,
+    /// Go-Back-N receiver window: next sequence expected from the parent.
+    pub rx: GbnRx,
     /// Per-child count of contiguously acknowledged packets
-    /// (acked seq + 1).
-    pub acked: Vec<u64>,
+    /// (acked seq + 1) — the paper's third piece of sequence state.
+    pub acked: ChildAcks,
     /// Unacknowledged packets, ascending seq.
     pub records: VecDeque<McastRec>,
     /// Root: outstanding messages awaiting full acknowledgment
@@ -262,9 +263,9 @@ impl GroupState {
             root,
             parent,
             children,
-            send_seq: 0,
-            recv_seq: 0,
-            acked: vec![0; n],
+            tx: GbnTx::default(),
+            rx: GbnRx::default(),
+            acked: ChildAcks::new(n),
             records: VecDeque::new(),
             out_msgs: VecDeque::new(),
             in_msgs: VecDeque::new(),
@@ -283,7 +284,7 @@ impl GroupState {
 
     /// Lowest per-child acked count: packets below this are globally acked.
     pub(crate) fn min_acked(&self) -> u64 {
-        self.acked.iter().copied().min().unwrap_or(u64::MAX)
+        self.acked.min_acked()
     }
 
     /// Find a record by sequence number.
@@ -310,7 +311,9 @@ mod tests {
             vec![NodeId(1), NodeId(2), NodeId(3)],
         );
         assert_eq!(g.min_acked(), 0);
-        g.acked = vec![3, 1, 2];
+        g.acked.on_ack(0, 2); // counts: [3,0,0]
+        g.acked.on_ack(1, 0); // counts: [3,1,0]
+        g.acked.on_ack(2, 1); // counts: [3,1,2]
         assert_eq!(g.min_acked(), 1);
         // No children: everything is trivially acked.
         let leaf = GroupState::new(PortId(0), NodeId(0), Some(NodeId(0)), vec![]);

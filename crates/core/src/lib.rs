@@ -40,6 +40,7 @@ mod calibrate;
 mod ext;
 pub mod features;
 mod group;
+mod replay;
 mod scenario;
 mod sweep;
 mod tree;
@@ -53,6 +54,7 @@ pub use group::{
     FwdTokenPolicy, McastConfig, McastNotice, McastRequest, MultisendImpl, ReduceOp,
     RetxBufferPolicy,
 };
+pub use replay::{replay, ReplayDrop, ReplayOutcome, ReplaySpec};
 pub use scenario::{BuiltScenario, Report, Scenario, ScenarioError};
 pub use sweep::Sweep;
 pub use tree::{coverage, min_makespan, PostalParams, SpanningTree, TreeShape};

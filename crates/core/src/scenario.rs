@@ -188,6 +188,14 @@ impl Scenario {
         self
     }
 
+    /// Tolerate a run that idles before every timed iteration completes
+    /// (used by `simcheck` counterexample replays, where non-completion
+    /// *is* the expected verdict of a seeded protocol bug).
+    pub fn allow_incomplete(mut self) -> Scenario {
+        self.run.allow_incomplete = true;
+        self
+    }
+
     /// RNG seed (affects only fault draws).
     pub fn seed(mut self, seed: u64) -> Scenario {
         self.run.seed = seed;

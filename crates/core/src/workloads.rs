@@ -98,6 +98,12 @@ pub struct McastRun {
     /// identical either way; infeasible configurations (targeted drop
     /// rules, indivisible topologies) silently fall back to sequential.
     pub shards: u32,
+    /// Tolerate a run that idles before every timed iteration completes
+    /// (normally an assertion failure). `simcheck` counterexample replays
+    /// set this: a protocol bug that kills retransmission shows up as the
+    /// cluster going idle with the multicast unfinished, and the caller
+    /// reads the verdict from the completion count and flow lineage.
+    pub allow_incomplete: bool,
 }
 
 /// The `MYRI_SIM_SHARDS` default: unset, empty or unparsable means 1.
@@ -131,6 +137,7 @@ impl McastRun {
             params: GmParams::default(),
             net: NetParams::default(),
             shards: env_shards(),
+            allow_incomplete: false,
         }
     }
 }
@@ -444,9 +451,11 @@ pub fn execute_observed(
         };
 
     let s = shared.lock().expect("shared app state mutex poisoned");
-    assert_eq!(
-        s.iters_done, run.iters,
-        "not every timed iteration completed"
+    assert!(
+        run.allow_incomplete || s.iters_done == run.iters,
+        "not every timed iteration completed ({} of {})",
+        s.iters_done,
+        run.iters
     );
     let retransmissions: u64 = worlds
         .iter()

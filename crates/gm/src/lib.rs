@@ -59,6 +59,7 @@ mod ext;
 mod host;
 mod nic;
 mod params;
+pub mod proto;
 
 pub use cluster::{probes, Cluster, Ev};
 pub use ext::{Never, NicExtension, NoExt};
@@ -68,3 +69,4 @@ pub use nic::{
     Work,
 };
 pub use params::{GmParams, EAGER_LIMIT};
+pub use proto::ProtoMutation;

@@ -20,6 +20,7 @@ use myrinet::{NodeId, Packet, PacketKind, PortId, MTU};
 
 use crate::ext::NicExtension;
 use crate::params::GmParams;
+use crate::proto::{self, Credits, GbnRx, GbnTx, Pool, RxVerdict};
 
 /// Identifies one direction of a GM connection: the remote node plus the
 /// (sender port, receiver port) pair.
@@ -230,7 +231,7 @@ struct SendRecord {
 
 #[derive(Debug, Default)]
 struct SendConn {
-    next_seq: u64,
+    tx: GbnTx,
     records: VecDeque<SendRecord>,
     pending_tokens: VecDeque<u64>,
     active_token: Option<u64>,
@@ -268,7 +269,7 @@ struct InProgressMsg {
 /// RDMA into host memory.
 #[derive(Debug, Default)]
 struct RecvConn {
-    expected: u64,
+    rx: GbnRx,
     next_uid: u64,
     msgs: VecDeque<InProgressMsg>,
     /// An ack-flush timer is pending for this connection.
@@ -304,18 +305,20 @@ pub struct NicCore<X: NicExtension> {
     tx_busy: bool,
     tx: VecDeque<TxJob<X::Tag>>,
 
-    // SRAM buffers.
-    send_bufs_free: usize,
-    recv_bufs_free: usize,
+    // SRAM buffers (counted pools from the pure protocol core; conservation
+    // is debug-asserted at every grant/release site, mirroring the simcheck
+    // invariant).
+    send_bufs: Pool,
+    recv_bufs: Pool,
     /// Round-robin rotation of connections with queued SDMA requests (each
     /// connection appears at most once).
     sdma_rotation: VecDeque<ConnKey>,
 
     // Tokens.
-    send_tokens_free: usize,
+    send_token_pool: Pool,
     tokens: BTreeMap<u64, SendTokenState>,
     next_token: u64,
-    recv_tokens: BTreeMap<PortId, usize>,
+    recv_tokens: BTreeMap<PortId, Credits>,
 
     // Protocol state.
     send_conns: BTreeMap<ConnKey, SendConn>,
@@ -338,9 +341,9 @@ impl<X: NicExtension> NicCore<X> {
     pub fn new(node: NodeId, params: GmParams) -> Self {
         NicCore {
             node,
-            send_bufs_free: params.send_buffers,
-            recv_bufs_free: params.recv_buffers,
-            send_tokens_free: params.send_tokens,
+            send_bufs: Pool::new(params.send_buffers),
+            recv_bufs: Pool::new(params.recv_buffers),
+            send_token_pool: Pool::new(params.send_tokens),
             params,
             now: SimTime::ZERO,
             lanai_busy: false,
@@ -393,11 +396,11 @@ impl<X: NicExtension> NicCore<X> {
     /// treat this as backpressure; the cluster's host model retries).
     pub fn host_send(&mut self, args: SendArgs) -> bool {
         assert!(args.dst != self.node, "GM loopback send is not modelled");
-        if self.send_tokens_free == 0 {
+        if !self.send_token_pool.try_take() {
             self.counters.bump("send_token_stall");
             return false;
         }
-        self.send_tokens_free -= 1;
+        self.debug_check_conservation();
         let id = self.next_token;
         self.next_token += 1;
         self.tokens.insert(
@@ -420,17 +423,23 @@ impl<X: NicExtension> NicCore<X> {
 
     /// The host preposted `n` receive buffers on `port`.
     pub fn host_provide_recv(&mut self, port: PortId, n: usize) {
-        *self.recv_tokens.entry(port).or_insert(0) += n;
+        self.recv_tokens
+            .entry(port)
+            .or_default()
+            .grant(n as u64);
+        self.debug_check_conservation();
     }
 
     /// Receive tokens currently available on `port`.
     pub fn recv_tokens(&self, port: PortId) -> usize {
-        self.recv_tokens.get(&port).copied().unwrap_or(0)
+        self.recv_tokens
+            .get(&port)
+            .map_or(0, |c| c.available() as usize)
     }
 
     /// Free send tokens (host sends park until one is available).
     pub fn send_tokens_free(&self) -> usize {
-        self.send_tokens_free
+        self.send_token_pool.free()
     }
 
     /// Queue LANai work for a host extension request (cost supplied by the
@@ -456,13 +465,12 @@ impl<X: NicExtension> NicCore<X> {
                 self.work.push_back((cost, work));
             }
             PacketKind::Data { .. } | PacketKind::Mcast { .. } => {
-                if self.recv_bufs_free == 0 {
+                if !self.recv_bufs.try_take() {
                     // GM behaviour: no buffer, drop; the sender's timeout
                     // recovers the packet.
                     self.counters.bump("rx_drop_no_sram");
                     return;
                 }
-                self.recv_bufs_free -= 1;
                 let cost = self.params.recv_proc;
                 let work = if pkt.kind.is_mcast() {
                     Work::RxExt(pkt)
@@ -589,7 +597,7 @@ impl<X: NicExtension> NicCore<X> {
             return;
         };
         conn.ack_armed = false;
-        if let Some(a) = conn.expected.checked_sub(1) {
+        if let Some(a) = conn.rx.cum_ack() {
             let ack = Packet::ack(self.node, key.peer, key.dst_port, a);
             self.counters.bump("tx_acks");
             self.tx.push_back(TxJob {
@@ -667,40 +675,39 @@ impl<X: NicExtension> NicCore<X> {
     /// Consume one receive token on `port`. Returns false (and counts) if
     /// none are available.
     pub fn take_recv_token(&mut self, port: PortId) -> bool {
-        match self.recv_tokens.get_mut(&port) {
-            Some(n) if *n > 0 => {
-                *n -= 1;
-                true
-            }
-            _ => {
-                self.counters.bump("rx_drop_no_token");
-                false
-            }
+        let ok = self
+            .recv_tokens
+            .get_mut(&port)
+            .is_some_and(Credits::try_consume);
+        if ok {
+            self.debug_check_conservation();
+        } else {
+            self.counters.bump("rx_drop_no_token");
         }
+        ok
     }
 
     /// Try to claim a send SRAM buffer.
     pub fn alloc_send_buffer(&mut self) -> bool {
-        if self.send_bufs_free > 0 {
-            self.send_bufs_free -= 1;
-            true
-        } else {
-            false
+        let ok = self.send_bufs.try_take();
+        if ok {
+            self.debug_check_conservation();
         }
+        ok
     }
 
     /// Return a send SRAM buffer and let waiting SDMA requests proceed.
     pub fn free_send_buffer(&mut self) {
-        self.send_bufs_free += 1;
-        debug_assert!(self.send_bufs_free <= self.params.send_buffers);
+        self.send_bufs.put();
+        self.debug_check_conservation();
         self.resource_freed = true;
         self.pump_sdma();
     }
 
     /// Return a receive SRAM buffer (extension forwarding path).
     pub fn free_recv_buffer(&mut self) {
-        self.recv_bufs_free += 1;
-        debug_assert!(self.recv_bufs_free <= self.params.recv_buffers);
+        self.recv_bufs.put();
+        self.debug_check_conservation();
         self.resource_freed = true;
     }
 
@@ -725,28 +732,51 @@ impl<X: NicExtension> NicCore<X> {
     /// ablation that retransmits from pool tokens instead of transforming
     /// the receive token; can deadlock, as the paper warns).
     pub fn take_send_token(&mut self) -> bool {
-        if self.send_tokens_free > 0 {
-            self.send_tokens_free -= 1;
-            true
-        } else {
-            false
+        let ok = self.send_token_pool.try_take();
+        if ok {
+            self.debug_check_conservation();
         }
+        ok
     }
 
     /// Return a pool send token.
     pub fn return_send_token(&mut self) {
-        self.send_tokens_free += 1;
+        self.send_token_pool.put();
+        self.debug_check_conservation();
         self.resource_freed = true;
     }
 
     /// Free send SRAM buffers currently available (for tests/ablations).
     pub fn send_buffers_free(&self) -> usize {
-        self.send_bufs_free
+        self.send_bufs.free()
     }
 
     /// Free receive SRAM buffers currently available.
     pub fn recv_buffers_free(&self) -> usize {
-        self.recv_bufs_free
+        self.recv_bufs.free()
+    }
+
+    /// Runtime mirror of simcheck's token-conservation invariant (I2):
+    /// checked at every grant/release site in debug builds so ordinary
+    /// simulation runs cheaply cross-validate the model. Release builds
+    /// compile this to nothing.
+    fn debug_check_conservation(&self) {
+        debug_assert!(
+            self.send_bufs.is_conserved(),
+            "token conservation: send-buffer pool leaked or double-freed"
+        );
+        debug_assert!(
+            self.recv_bufs.is_conserved(),
+            "token conservation: recv-buffer pool leaked or double-freed"
+        );
+        debug_assert!(
+            self.send_token_pool.is_conserved(),
+            "token conservation: send-token pool leaked or double-freed"
+        );
+        debug_assert!(
+            self.recv_tokens.values().all(Credits::is_conserved),
+            "token conservation: receive credits consumed beyond grants"
+        );
     }
 
     // -- Flow attribution ----------------------------------------------------
@@ -831,19 +861,18 @@ impl<X: NicExtension> NicCore<X> {
 
     /// Send tokens currently in use (telemetry gauge).
     pub fn send_tokens_used(&self) -> usize {
-        self.params.send_tokens - self.send_tokens_free
+        self.send_token_pool.in_use()
     }
 
     /// SRAM packet buffers currently in use, send + receive (telemetry
     /// gauge: the paper's firmware competes for this pool).
     pub fn sram_buffers_used(&self) -> usize {
-        (self.params.send_buffers - self.send_bufs_free)
-            + (self.params.recv_buffers - self.recv_bufs_free)
+        self.send_bufs.in_use() + self.recv_bufs.in_use()
     }
 
     /// Receive tokens available across all ports (telemetry gauge).
     pub fn recv_tokens_avail(&self) -> usize {
-        self.recv_tokens.values().sum()
+        self.recv_tokens.values().map(|c| c.available() as usize).sum()
     }
 
     // -- Base protocol internals ----------------------------------------------
@@ -882,12 +911,13 @@ impl<X: NicExtension> NicCore<X> {
             let token = self.tokens.get_mut(&tid).expect("active token exists");
             let len = token.data.len();
             let mut made_progress = false;
-            while !token.done_creating && conn.records.len() < self.params.send_window {
+            while !token.done_creating
+                && conn.tx.can_admit(conn.records.len(), self.params.send_window)
+            {
                 let off = token.next_offset;
                 let chunk = (len - off).min(MTU);
                 let payload = token.data.slice(off..off + chunk);
-                let seq = conn.next_seq;
-                conn.next_seq += 1;
+                let seq = conn.tx.assign_seq();
                 conn.records.push_back(SendRecord {
                     seq,
                     token: tid,
@@ -936,7 +966,7 @@ impl<X: NicExtension> NicCore<X> {
     /// request per connection in rotation (GM round-robins across its
     /// per-port send queues, so bulk traffic cannot starve other ports).
     fn pump_sdma(&mut self) {
-        while self.send_bufs_free > 0 {
+        while self.send_bufs.free() > 0 {
             let Some(key) = self.sdma_rotation.pop_front() else {
                 return;
             };
@@ -958,7 +988,8 @@ impl<X: NicExtension> NicCore<X> {
                 self.enroll_sdma(key);
                 continue;
             };
-            self.send_bufs_free -= 1;
+            let took = self.send_bufs.try_take();
+            debug_assert!(took, "loop guard guarantees a free send buffer");
             let bytes = rec.payload.len() as u64;
             let job = if req.retx {
                 PciJob::Retx {
@@ -1106,14 +1137,14 @@ impl<X: NicExtension> NicCore<X> {
             src_port,
             dst_port: port,
         };
-        let expected = self.recv_conns.entry(key).or_default().expected;
-        if seq != expected {
+        let verdict = self.recv_conns.entry(key).or_default().rx.verdict(seq);
+        if let RxVerdict::OutOfOrder { reack } = verdict {
             // Out of order (Go-Back-N): drop, re-ack the last in-order seq
             // immediately (duplicates signal the sender is retransmitting,
             // so never delay this one).
             self.counters.bump("rx_out_of_order");
             self.free_recv_buffer();
-            if let Some(a) = expected.checked_sub(1) {
+            if let Some(a) = reack {
                 let ack = Packet::ack(self.node, key.peer, port, a);
                 self.counters.bump("tx_acks");
                 self.tx.push_back(TxJob {
@@ -1154,7 +1185,7 @@ impl<X: NicExtension> NicCore<X> {
         msg.data.extend_from_slice(&pkt.payload);
         msg.received += pkt.payload.len() as u32;
         let msg_uid = msg.uid;
-        conn.expected += 1;
+        conn.rx.accept();
         self.counters.bump("rx_data");
         // Ack the packet (possibly coalesced) and upload its payload to the
         // host buffer. The receive SRAM buffer stays occupied until the
@@ -1232,9 +1263,13 @@ impl<X: NicExtension> NicCore<X> {
             return;
         };
         let conn = self.send_conns.get_mut(&key).expect("key exists");
+        // A cumulative ack for `seq` means `seq + 1` packets are confirmed;
+        // the shared release-horizon function decides how many records that
+        // frees (the seeded off-by-one mutation lives in there).
+        let horizon = proto::release_horizon(seq + 1, self.params.mutation);
         let mut completed: Vec<u64> = Vec::new();
         while let Some(front) = conn.records.front() {
-            if front.seq > seq {
+            if front.seq >= horizon {
                 break;
             }
             let rec = conn.records.pop_front().expect("nonempty");
@@ -1249,7 +1284,8 @@ impl<X: NicExtension> NicCore<X> {
             token.unacked -= 1;
             if token.done_creating && token.unacked == 0 {
                 let token = self.tokens.remove(&tid).expect("token exists");
-                self.send_tokens_free += 1;
+                self.send_token_pool.put();
+                self.debug_check_conservation();
                 self.notices.push(Notice::SendComplete {
                     port: token.src_port,
                     tag: token.tag,

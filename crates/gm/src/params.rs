@@ -6,6 +6,7 @@
 //! host overhead under 1 µs. Every constant can be overridden; the benchmark
 //! harness uses the defaults. See DESIGN.md §4 for the rationale table.
 
+use crate::proto::ProtoMutation;
 use gm_sim::SimDuration;
 
 /// All timing and resource parameters of a GM node (host + NIC + PCI).
@@ -71,6 +72,12 @@ pub struct GmParams {
     /// Packet-sized receive buffers (a packet with no free buffer is
     /// dropped, as in GM, and recovered by retransmission).
     pub recv_buffers: usize,
+
+    // --- Verification ---
+    /// Deliberately seeded protocol bug for model↔implementation conformance
+    /// tests (see `gm::proto` and `crates/simcheck`). Always
+    /// [`ProtoMutation::None`] outside those tests.
+    pub mutation: ProtoMutation,
 }
 
 impl Default for GmParams {
@@ -96,6 +103,7 @@ impl Default for GmParams {
             ack_coalesce: SimDuration::ZERO,
             send_buffers: 4,
             recv_buffers: 64,
+            mutation: ProtoMutation::None,
         }
     }
 }

@@ -1,0 +1,115 @@
+//! Deterministic JSON rendering of counterexample traces and CI reports.
+//!
+//! Hand-rolled (no serde) so the output is byte-stable: fixed key order,
+//! no whitespace variance, `\n`-terminated. Committed trace artifacts are
+//! diffed byte-for-byte by the conformance tests.
+
+use crate::explore::{CounterExample, Outcome};
+use crate::model::{Action, Config, State, Topo};
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn action_json(topo: &Topo, a: Action) -> String {
+    match a {
+        Action::Admit => r#"{"op":"admit"}"#.to_string(),
+        Action::SdmaStart => r#"{"op":"sdma_start"}"#.to_string(),
+        Action::ChainStep { node, seq } => {
+            format!(r#"{{"op":"chain_step","node":{node},"seq":{seq}}}"#)
+        }
+        Action::Deliver { link, pos } => {
+            let (src, dst) = topo.links[link as usize];
+            format!(r#"{{"op":"deliver","src":{src},"dst":{dst},"pos":{pos}}}"#)
+        }
+        Action::Drop { link, pos } => {
+            let (src, dst) = topo.links[link as usize];
+            format!(r#"{{"op":"drop","src":{src},"dst":{dst},"pos":{pos}}}"#)
+        }
+        Action::Dup { link, pos } => {
+            let (src, dst) = topo.links[link as usize];
+            format!(r#"{{"op":"dup","src":{src},"dst":{dst},"pos":{pos}}}"#)
+        }
+        Action::RdmaDone { node } => format!(r#"{{"op":"rdma_done","node":{node}}}"#),
+        Action::CrashLeaf { node } => format!(r#"{{"op":"crash_leaf","node":{node}}}"#),
+        Action::Timeout { node } => format!(r#"{{"op":"timeout","node":{node}}}"#),
+    }
+}
+
+fn config_json(cfg: &Config) -> String {
+    format!(
+        r#"{{"nodes":{},"packets":{},"window":{},"send_bufs":{},"recv_bufs":{},"loss":{},"dup":{},"reorder":{},"crash":{},"mutation":"{}","symmetry":{},"eager_nic":{}}}"#,
+        cfg.nodes,
+        cfg.packets,
+        cfg.window,
+        cfg.send_bufs,
+        cfg.recv_bufs,
+        cfg.loss,
+        cfg.dup,
+        cfg.reorder,
+        cfg.crash,
+        cfg.mutation.name(),
+        cfg.symmetry,
+        cfg.eager_nic
+    )
+}
+
+fn delivered_json(st: &State) -> String {
+    let ids: Vec<String> = st
+        .nodes
+        .iter()
+        .enumerate()
+        .skip(1)
+        .filter(|(_, n)| n.delivered == 1)
+        .map(|(id, _)| id.to_string())
+        .collect();
+    format!("[{}]", ids.join(","))
+}
+
+/// Render a counterexample trace as deterministic JSON.
+pub fn trace_json(cfg: &Config, topo: &Topo, cex: &CounterExample) -> String {
+    let steps: Vec<String> = cex
+        .steps
+        .iter()
+        .map(|s| {
+            format!(
+                r#"    {{"action":{},"note":"{}"}}"#,
+                action_json(topo, s.action),
+                esc(&s.note)
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"config\": {},\n  \"kind\": \"{}\",\n  \"detail\": \"{}\",\n  \"delivered\": {},\n  \"steps\": [\n{}\n  ]\n}}\n",
+        config_json(cfg),
+        esc(&cex.kind),
+        esc(&cex.detail),
+        delivered_json(&cex.state),
+        steps.join(",\n")
+    )
+}
+
+/// Render a CI run report as deterministic JSON. Wall time is deliberately
+/// left out (it goes to stdout instead) so the committed artifact is
+/// byte-stable across runs.
+pub fn report_json(cfg: &Config, out: &Outcome) -> String {
+    format!(
+        "{{\n  \"config\": {},\n  \"states\": {},\n  \"transitions\": {},\n  \"max_depth\": {},\n  \"complete\": {},\n  \"violations\": {}\n}}\n",
+        config_json(cfg),
+        out.states,
+        out.transitions,
+        out.max_depth,
+        out.complete,
+        u8::from(out.violation.is_some())
+    )
+}

@@ -27,7 +27,7 @@ use std::path::{Path, PathBuf};
 use lexer::{lex, Comment, Tok, TokKind};
 use rules::{
     is_known_rule, rule_info, ALLOW_HYGIENE, DET_HASH, DET_THREAD, DET_WALLTIME, ERROR_UNWRAP,
-    FLOW_ID, HOT_ALLOC, PROBE_UNIQUE, UNITS,
+    FLOW_ID, HOT_ALLOC, PROBE_UNIQUE, STATE_PURE, UNITS,
 };
 
 // ---------------------------------------------------------------------------
@@ -48,17 +48,23 @@ pub struct FileClass {
     /// `sim::flow` itself — the one module allowed to touch the raw packed
     /// representation of flow identity, so `flow-id` does not apply.
     pub flow_module: bool,
+    /// The pure protocol core (`gm::proto`), shared between the simulator
+    /// and the `simcheck` model checker: the `state-pure` rule applies.
+    pub proto_module: bool,
 }
 
 impl FileClass {
     /// The strictest classification (used for explicitly-listed files and
-    /// the fixture corpus): every rule on.
+    /// the fixture corpus): every rule on. `state-pure` is deliberately
+    /// *not* part of strict — it only makes sense inside `gm::proto`
+    /// (legitimate simulator code is full of `SimTime`s and probes).
     pub fn strict() -> FileClass {
         FileClass {
             protocol: true,
             walltime_exempt: false,
             time_module: false,
             flow_module: false,
+            proto_module: false,
         }
     }
 }
@@ -94,6 +100,7 @@ pub fn classify(rel: &str) -> Option<FileClass> {
         walltime_exempt: rel.starts_with("crates/bench/"),
         time_module: rel == "crates/sim/src/time.rs",
         flow_module: rel == "crates/sim/src/flow.rs",
+        proto_module: rel == "crates/gm/src/proto.rs" || rel.starts_with("crates/gm/src/proto/"),
     })
 }
 
@@ -543,6 +550,47 @@ fn scan_rules(
                     toks[i + 3].text
                 ),
             });
+        }
+        // state-pure: the protocol core must stay a pure function of its
+        // explicit state — no clocks, randomness, probes, or global state —
+        // so the simcheck model checker explores exactly the code the
+        // simulator runs.
+        if class.proto_module {
+            let impure: Option<&str> = if matches!(
+                t.text.as_str(),
+                "SimTime" | "SimDuration" | "Instant" | "SystemTime"
+            ) {
+                Some("clock/time type")
+            } else if matches!(
+                t.text.as_str(),
+                "Rng" | "DetRng" | "splitmix64" | "thread_rng" | "random"
+            ) || (t.text == "rand" && punct_at(toks, i + 1, ':'))
+            {
+                Some("randomness")
+            } else if matches!(
+                t.text.as_str(),
+                "ProbeId" | "ProbeSink" | "ProbeEvent" | "Counters"
+            ) {
+                Some("observability hook")
+            } else if t.text == "thread_local"
+                || (t.text == "static" && ident_at(toks, i + 1, "mut"))
+                || t.text.starts_with("Atomic")
+                || (t.text == "env" && (punct_at(toks, i + 1, ':') || punct_at(toks, i + 1, '!')))
+            {
+                Some("global state")
+            } else {
+                None
+            };
+            if let Some(what) = impure {
+                diags.push(RawDiag {
+                    rule: STATE_PURE,
+                    line: t.line,
+                    message: format!(
+                        "{what} `{}` inside the pure protocol core",
+                        t.text
+                    ),
+                });
+            }
         }
         // units: `as_nanos() as ...` / `as_micros_f64() as ...`.
         if !class.time_module
@@ -1013,6 +1061,49 @@ mod tests {
         let out = lint_source("t.rs", src, &FileClass::strict());
         assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
         assert!(out.probe_defs.is_empty());
+    }
+
+    #[test]
+    fn state_pure_scoped_to_proto_module() {
+        let src = "pub fn f(t: SimTime, r: &mut DetRng) -> u64 { t.raw() }\n";
+        // Plain strict (any ordinary simulator file): SimTime is fine.
+        assert!(strict(src).is_empty());
+        // Inside gm::proto, both the clock type and the RNG fire.
+        let class = FileClass {
+            proto_module: true,
+            ..FileClass::strict()
+        };
+        let d = lint_source("crates/gm/src/proto.rs", src, &class).diagnostics;
+        let rules: Vec<&str> = d.iter().map(|x| x.rule).collect();
+        assert_eq!(rules, vec!["state-pure"; 2], "{d:?}");
+    }
+
+    #[test]
+    fn state_pure_catches_global_state() {
+        let class = FileClass {
+            proto_module: true,
+            ..FileClass::strict()
+        };
+        for src in [
+            "static mut COUNT: u64 = 0;\n",
+            "use std::sync::atomic::AtomicU64;\n",
+            "thread_local! { static X: u64 = 0; }\n",
+            "let home = std::env::var(\"HOME\");\n",
+        ] {
+            let d = lint_source("crates/gm/src/proto.rs", src, &class).diagnostics;
+            assert!(
+                d.iter().any(|x| x.rule == "state-pure"),
+                "expected state-pure for {src:?}, got {d:?}"
+            );
+        }
+        // Immutable statics (lookup tables) are pure and allowed.
+        let d = lint_source(
+            "crates/gm/src/proto.rs",
+            "static TABLE: [u8; 2] = [0, 1];\n",
+            &class,
+        )
+        .diagnostics;
+        assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]

@@ -49,6 +49,8 @@ pub const ERROR_UNWRAP: &str = "error-unwrap";
 pub const PROBE_UNIQUE: &str = "probe-unique";
 /// O: no raw `u64` flow identifiers outside `sim::flow`.
 pub const FLOW_ID: &str = "flow-id";
+/// P: no clock/RNG/probe/global-state access inside `gm::proto`.
+pub const STATE_PURE: &str = "state-pure";
 /// Suppressions must name a known rule, carry a reason, and actually fire.
 pub const ALLOW_HYGIENE: &str = "allow-hygiene";
 
@@ -93,6 +95,11 @@ pub const RULES: &[RuleInfo] = &[
         name: FLOW_ID,
         summary: "raw u64 flow identifier outside sim::flow loses the packed-FlowId type safety",
         help: "pass and store gm_sim::FlowId; only crates/sim/src/flow.rs may touch the raw representation (from_raw), reading .raw() for serialization is fine",
+    },
+    RuleInfo {
+        name: STATE_PURE,
+        summary: "impure construct (clock/RNG/probe/global state) inside the pure protocol core",
+        help: "gm::proto holds side-effect-free transition functions shared with the simcheck model checker; keep time, randomness, probes and statics in the layers that call it",
     },
     RuleInfo {
         name: ALLOW_HYGIENE,

@@ -1,0 +1,10 @@
+// BAD: the protocol core must be a pure function of its explicit state —
+// clocks, randomness, probes and global state all make the simulator
+// diverge from what the simcheck model checker explored.
+pub fn impure_horizon(acked: u64, now: SimTime, rng: &mut DetRng) -> u64 {
+    static mut CALLS: u64 = 0;
+    let jitter = rng.next_u64() % 2;
+    let probe = ProbeId::new("proto_horizon", Track::Nic);
+    let _ = (probe, jitter);
+    acked + now.as_nanos()
+}

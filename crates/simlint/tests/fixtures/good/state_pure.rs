@@ -1,0 +1,12 @@
+// GOOD: pure transitions — functions of the explicit state vector alone,
+// safe to run both in the simulator and under exhaustive model checking.
+
+/// The horizon below which globally-acked sender records may be released.
+pub fn release_horizon(acked_count: u64) -> u64 {
+    acked_count
+}
+
+/// Go-Back-N admission: may another packet enter the window?
+pub fn can_admit(outstanding: usize, window: usize) -> bool {
+    outstanding < window
+}

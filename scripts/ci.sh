@@ -39,6 +39,14 @@ run clippy --workspace --all-targets "${CARGO_FLAGS[@]}" -- -D warnings
 run run -q -p simlint "${CARGO_FLAGS[@]}" -- --workspace
 echo "ci: simlint report at results/simlint_report.json"
 
+# Model-checking gate: exhaustively explore the CI configuration (3 nodes,
+# window 2, loss budget 2, plus dup/reorder/crash budgets) of the reliable-
+# multicast protocol and fail on any invariant violation or deadlock. The
+# run is deterministic (fixed BFS order) and bounded by a state-count and
+# wall budget; it writes results/simcheck_report.json (DESIGN.md §13).
+run run -q --release -p simcheck "${CARGO_FLAGS[@]}" -- --ci
+echo "ci: simcheck report at results/simcheck_report.json"
+
 # Observability gate: one probed run must export a Perfetto-loadable Chrome
 # trace-event document (--check re-parses it and validates ph/ts/pid/tid,
 # B/E balance and per-track timestamp monotonicity) with the attribution
